@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Char Float List Printf S3_cloud S3_core S3_lp S3_net S3_sim S3_storage S3_util S3_workload String Sys

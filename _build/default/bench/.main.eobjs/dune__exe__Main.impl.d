@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Bytes Char Experiments Float Hashtbl Instance List Measure Printf S3_core S3_lp S3_sim S3_storage S3_util S3_workload Staged Sys Test Time Toolkit

@@ -1,0 +1,262 @@
+(* s3sim — command-line front end for the S3 scheduling simulator.
+
+   Subcommands:
+     run       simulate a synthetic workload under one or more algorithms
+     trace     simulate a Google-style trace file (or a synthetic one)
+     example   replay the paper's Fig. 1 / Table 2 scenario
+     gen       emit a synthetic trace in time,machine CSV form
+
+   Examples:
+     s3sim run --algorithms lpst,lpall --rate 1.2 --tasks 500
+     s3sim run --topology fat-tree --fg 0.4 --seed 7
+     s3sim trace --machines 30 --tasks 5000
+     s3sim gen --tasks 1000 > trace.csv && s3sim trace --file trace.csv *)
+
+open Cmdliner
+
+module Topology = S3_net.Topology
+module Generator = S3_workload.Generator
+module Trace = S3_workload.Trace
+module Registry = S3_core.Registry
+module Engine = S3_sim.Engine
+module Foreground = S3_sim.Foreground
+module Metrics = S3_sim.Metrics
+module Emulator = S3_cloud.Emulator
+module Table = S3_util.Table
+module Prng = S3_util.Prng
+
+(* ---- shared options ---- *)
+
+let topology_arg =
+  let doc = "Topology: two-tier(RACKSxSRV), fat-tree(K), leaf-spine(RACKS leaves) or bcube(PORTS,LEVELS)." in
+  Arg.(value & opt string "two-tier" & info [ "topology" ] ~docv:"KIND" ~doc)
+
+let racks = Arg.(value & opt int 3 & info [ "racks" ] ~doc:"Racks (two-tier).")
+let servers = Arg.(value & opt int 10 & info [ "servers-per-rack" ] ~doc:"Servers per rack.")
+let cst = Arg.(value & opt float 500. & info [ "cst" ] ~doc:"Server link capacity, Mb/s.")
+let cta = Arg.(value & opt float 1500. & info [ "cta" ] ~doc:"TOR/switch capacity, Mb/s.")
+
+let fat_k = Arg.(value & opt int 4 & info [ "fat-k" ] ~doc:"Fat-tree arity (even).")
+let bcube_ports = Arg.(value & opt int 4 & info [ "bcube-ports" ] ~doc:"BCube switch ports.")
+let bcube_levels = Arg.(value & opt int 2 & info [ "bcube-levels" ] ~doc:"BCube levels.")
+
+let make_topology kind racks servers cst cta fat_k ports levels =
+  match String.lowercase_ascii kind with
+  | "two-tier" | "two_tier" -> Ok (Topology.two_tier ~racks ~servers_per_rack:servers ~cst ~cta)
+  | "fat-tree" | "fat_tree" -> Ok (Topology.fat_tree ~k:fat_k ~cst ~cta)
+  | "leaf-spine" | "leaf_spine" ->
+    Ok (Topology.leaf_spine ~leaves:racks ~spines:(max 1 (racks / 2)) ~servers_per_leaf:servers ~cst ~cta)
+  | "bcube" -> Ok (Topology.bcube ~ports ~levels ~cst ~cta)
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+let algorithms_arg =
+  let doc =
+    Printf.sprintf "Comma-separated algorithms to compare; any of: %s; or 'all'."
+      (String.concat ", " Registry.names)
+  in
+  Arg.(value & opt string "fifo,disfifo,edf,disedf,lpall,lpst"
+       & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
+
+let parse_algorithms s =
+  let names =
+    if String.lowercase_ascii s = "all" then Registry.names
+    else String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+  in
+  try Ok (List.map (fun n -> ignore (Registry.make n); n) names)
+  with Invalid_argument m -> Error m
+
+let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every scheduling event to stderr.")
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+let fg_arg =
+  Arg.(value & opt float 0.
+       & info [ "fg" ] ~doc:"Max foreground occupancy per link, in [0,1).")
+let cloud_arg =
+  Arg.(value & flag
+       & info [ "cloud" ]
+           ~doc:"Run on the emulated cloud testbed (rsync quantization, control latency) \
+                 instead of the ideal simulator.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write per-run results as CSV to $(docv) ('-' for stdout).")
+
+let report ~cloud ~fg ~seed ?csv topo names tasks =
+  let config =
+    { Engine.foreground =
+        (if fg > 0. then Foreground.uniform ~max_frac:fg else Foreground.none);
+      seed = seed + 1
+    }
+  in
+  let runs =
+    List.map
+      (fun name ->
+        let alg = Registry.make name in
+        if cloud then Emulator.run ~sim_config:config topo alg tasks
+        else Engine.run ~config topo alg tasks)
+      names
+  in
+  let rows =
+    List.map
+      (fun run ->
+        [ run.Metrics.algorithm;
+          Printf.sprintf "%d/%d" (Metrics.completed run) (List.length tasks);
+          Table.fmt_float ~decimals:2 (Metrics.remaining_volume_gb run);
+          Table.fmt_pct run.Metrics.utilization;
+          Table.fmt_float ~decimals:1 run.Metrics.horizon;
+          Printf.sprintf "%.2f" (1000. *. Metrics.mean_plan_time run)
+        ])
+      runs
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "algorithm"; "completed"; "remaining(GB)"; "util"; "makespan(s)"; "plan(ms)" ]
+       rows);
+  match csv with
+  | None -> ()
+  | Some "-" -> print_string (S3_sim.Report.csv_of_runs runs)
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (S3_sim.Report.csv_of_runs runs);
+    close_out oc;
+    Printf.printf "(csv written to %s)\n" path
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let tasks_arg = Arg.(value & opt int 300 & info [ "tasks" ] ~doc:"Number of tasks.") in
+  let rate_arg = Arg.(value & opt float 0.5 & info [ "rate" ] ~doc:"Poisson arrival rate, /s.") in
+  let chunk_arg = Arg.(value & opt float 64. & info [ "chunk" ] ~doc:"Chunk size, MB.") in
+  let code_arg =
+    Arg.(value & opt (pair ~sep:',' int int) (9, 6)
+         & info [ "code" ] ~docv:"N,K" ~doc:"Erasure code (n,k).")
+  in
+  let factor_arg =
+    Arg.(value & opt float 10. & info [ "deadline-factor" ] ~doc:"Deadline = factor x LRT.")
+  in
+  let jitter_arg =
+    Arg.(value & opt float 0.5
+         & info [ "deadline-jitter" ] ~doc:"Relative deadline-factor spread, [0,1).")
+  in
+  let run topo_kind racks servers cst cta fat_k ports levels algs tasks rate chunk (n, k)
+      factor jitter fg seed cloud verbose csv =
+    setup_logs verbose;
+    match (make_topology topo_kind racks servers cst cta fat_k ports levels,
+           parse_algorithms algs) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok topo, Ok names ->
+      (try
+         let cfg =
+           { Generator.num_tasks = tasks;
+             arrival_rate = rate;
+             chunk_size_mb = chunk;
+             code_mix = [ ((n, k), 1.) ];
+             deadline_factor = factor;
+             deadline_jitter = jitter;
+             placement = S3_storage.Placement.Rack_aware
+           }
+         in
+         let workload = Generator.generate (Prng.create seed) topo cfg in
+         Printf.printf "%s | %d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s%s\n\n"
+           (Topology.name topo) tasks n k chunk rate
+           (if cloud then " | emulated cloud" else "");
+         report ~cloud ~fg ~seed ?csv topo names workload;
+         `Ok ()
+       with Invalid_argument m -> `Error (false, m))
+  in
+  let term =
+    Term.(ret
+            (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
+             $ bcube_levels $ algorithms_arg $ tasks_arg $ rate_arg $ chunk_arg $ code_arg
+             $ factor_arg $ jitter_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ csv_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a synthetic background-task workload.") term
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "file" ] ~doc:"Trace CSV (time,machine per line); synthetic if absent.")
+  in
+  let machines_arg = Arg.(value & opt int 30 & info [ "machines" ] ~doc:"Machines (synthetic).") in
+  let tasks_arg = Arg.(value & opt int 3000 & info [ "tasks" ] ~doc:"Tasks (synthetic).") in
+  let chunk_arg = Arg.(value & opt float 64. & info [ "chunk" ] ~doc:"Chunk size, MB.") in
+  let factor_arg =
+    Arg.(value & opt float 10. & info [ "deadline-factor" ] ~doc:"Deadline = factor x LRT.")
+  in
+  let run topo_kind racks servers cst cta fat_k ports levels algs file machines tasks chunk
+      factor fg seed cloud verbose csv =
+    setup_logs verbose;
+    match (make_topology topo_kind racks servers cst cta fat_k ports levels,
+           parse_algorithms algs) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok topo, Ok names ->
+      (try
+         let g = Prng.create seed in
+         let records =
+           match file with
+           | Some path ->
+             let ic = open_in_bin path in
+             let body = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             Trace.parse body
+           | None -> Trace.synthetic g ~machines ~tasks
+         in
+         let workload =
+           Trace.to_tasks g topo records ~chunk_size_mb:chunk ~deadline_factor:factor
+         in
+         Printf.printf "%s | %d trace records\n\n" (Topology.name topo) (List.length records);
+         report ~cloud ~fg ~seed ?csv topo names workload;
+         `Ok ()
+       with
+       | Invalid_argument m -> `Error (false, m)
+       | Sys_error m -> `Error (false, m))
+  in
+  let term =
+    Term.(ret
+            (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
+             $ bcube_levels $ algorithms_arg $ file_arg $ machines_arg $ tasks_arg $ chunk_arg
+             $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ csv_arg))
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Simulate a Google-style arrival trace.") term
+
+(* ---- example ---- *)
+
+let example_cmd =
+  let run () =
+    let topo, tasks = S3_workload.Scenarios.fig1 () in
+    Printf.printf "Fig. 1 example on %s\n\n" (Topology.name topo);
+    report ~cloud:false ~fg:0. ~seed:0 topo [ "sp-ff"; "edf-cong"; "lpst" ] tasks;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Replay the paper's Fig. 1 / Table 2 scenario.")
+    Term.(ret (const run $ const ()))
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let machines_arg = Arg.(value & opt int 30 & info [ "machines" ] ~doc:"Machines.") in
+  let tasks_arg = Arg.(value & opt int 1000 & info [ "tasks" ] ~doc:"Records.") in
+  let run machines tasks seed =
+    let records = Trace.synthetic (Prng.create seed) ~machines ~tasks in
+    print_string (Trace.to_csv records);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a synthetic time,machine trace on stdout.")
+    Term.(ret (const run $ machines_arg $ tasks_arg $ seed_arg))
+
+let () =
+  let doc = "joint scheduling and source selection for erasure-coded background traffic" in
+  let info = Cmd.info "s3sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; example_cmd; gen_cmd ]))

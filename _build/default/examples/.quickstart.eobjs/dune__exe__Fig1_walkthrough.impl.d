@@ -1,0 +1,1 @@
+examples/fig1_walkthrough.ml: Array Char List Printf S3_core S3_net S3_sim S3_workload String

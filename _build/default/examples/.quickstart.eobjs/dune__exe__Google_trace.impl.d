@@ -1,0 +1,1 @@
+examples/google_trace.ml: List Printf S3_core S3_net S3_sim S3_util S3_workload Sys

@@ -1,0 +1,1 @@
+examples/google_trace.mli:

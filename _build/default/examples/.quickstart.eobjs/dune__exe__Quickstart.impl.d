@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Char List Printf S3_core S3_net S3_sim S3_storage S3_util S3_workload String

@@ -1,0 +1,66 @@
+(* The paper's illustrative example (Fig. 1 / Table 2), narrated.
+
+   Three repair tasks with deadlines 10 / 10.5 / 15 seconds compete for
+   a 3-rack network. Shortest-path + first-fit and EDF both miss a
+   deadline; LPST's joint optimization — prioritizing by Remaining Time
+   Flexibility rather than by deadline — completes all three.
+
+   Run with: dune exec examples/fig1_walkthrough.exe *)
+
+module Scenarios = S3_workload.Scenarios
+module Task = S3_workload.Task
+module Problem = S3_core.Problem
+module Rtf = S3_core.Rtf
+module Registry = S3_core.Registry
+module Engine = S3_sim.Engine
+module Metrics = S3_sim.Metrics
+
+let label id = String.make 1 (Char.chr (Char.code 'A' + id))
+
+let () =
+  let topo, tasks = Scenarios.fig1 () in
+  print_endline "The Fig. 1 scenario: 3 racks x 3 servers, CST=2Gb/s, CTA=3Gb/s.";
+  List.iter
+    (fun (t : Task.t) ->
+      Printf.printf "  task %s: repair %.0f Gb chunk onto server %d by t=%.1fs (k=%d of %s)\n"
+        (label t.Task.id) (t.Task.volume /. 1000.) t.Task.destination t.Task.deadline t.Task.k
+        (String.concat "," (List.map string_of_int (Array.to_list t.Task.sources))))
+    tasks;
+
+  (* The paper's key quantity: B has a later deadline than A but LESS
+     scheduling slack. RTF sees it; EDF cannot. *)
+  let view =
+    { Problem.now = 0.;
+      topo;
+      flows = [];
+      available = (fun e -> (S3_net.Topology.entity topo e).S3_net.Topology.capacity)
+    }
+  in
+  print_endline "\nRemaining Time Flexibility at t=0 (deadline - volume/path capacity):";
+  List.iter
+    (fun (t : Task.t) ->
+      let cap = Problem.path_available view ~src:t.Task.sources.(0) ~dst:t.Task.destination in
+      let rtf = t.Task.deadline -. (t.Task.volume /. cap) in
+      Printf.printf "  task %s: deadline %.1fs but RTF %.1fs\n" (label t.Task.id)
+        t.Task.deadline rtf)
+    tasks;
+  print_endline "  -> B is the most urgent despite A's earlier deadline.";
+
+  let show name =
+    let run = Engine.run topo (Registry.make name) tasks in
+    Printf.printf "\n%s: %d/3 tasks met their deadline\n" run.Metrics.algorithm
+      (Metrics.completed run);
+    List.iter
+      (fun (o : Metrics.outcome) ->
+        Printf.printf "  task %s %s\n"
+          (label o.Metrics.task.Task.id)
+          (if o.Metrics.completed then Printf.sprintf "done at %5.2fs" o.Metrics.finish_time
+           else
+             Printf.sprintf "MISSED (%.1f Gb left at t=%.1fs)" (o.Metrics.remaining /. 1000.)
+               o.Metrics.task.Task.deadline))
+      run.Metrics.outcomes
+  in
+  show "sp-ff";  (* Policy 1 of section 3.1 *)
+  show "edf-cong";  (* Policy 2 of section 3.1 *)
+  show "lpst";
+  print_endline "\nAs in the paper: only the joint schedule finishes all three (by ~9.8s)."

@@ -1,0 +1,64 @@
+(* Trace-driven scheduling (the paper's §5.5).
+
+   Arrival times and source machines come from a Google-cluster-style
+   trace; each record becomes a single-source transfer with a deadline.
+   This example shows the full trace tooling: generate a synthetic
+   trace, round-trip it through the CSV format the real trace extract
+   would use, then compare schedulers on the resulting workload and
+   print the Fig. 4-style CDF of normalized completion times.
+
+   Run with:
+     dune exec examples/google_trace.exe            (synthetic trace)
+     dune exec examples/google_trace.exe -- FILE    (your own time,machine CSV) *)
+
+module Topology = S3_net.Topology
+module Trace = S3_workload.Trace
+module Registry = S3_core.Registry
+module Engine = S3_sim.Engine
+module Metrics = S3_sim.Metrics
+module Prng = S3_util.Prng
+module Table = S3_util.Table
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let g = Prng.create 5 in
+  let records =
+    match Sys.argv with
+    | [| _; path |] -> Trace.parse (read_file path)
+    | _ ->
+      let r = Trace.synthetic g ~machines:30 ~tasks:3000 in
+      (* Round-trip through the on-disk format to exercise the parser. *)
+      Trace.parse (Trace.to_csv r)
+  in
+  Printf.printf "trace: %d records over %.0f s\n\n" (List.length records)
+    (match List.rev records with
+     | last :: _ -> last.Trace.time
+     | [] -> 0.);
+  let topo = Topology.two_tier ~racks:3 ~servers_per_rack:10 ~cst:500. ~cta:1500. in
+  let tasks = Trace.to_tasks g topo records ~chunk_size_mb:64. ~deadline_factor:10. in
+  let thresholds = [ 0.25; 0.5; 0.75; 1.0 ] in
+  let rows =
+    List.map
+      (fun name ->
+        let run = Engine.run topo (Registry.make name) tasks in
+        let times = Metrics.normalized_completion_times run in
+        let total = float_of_int (List.length run.Metrics.outcomes) in
+        run.Metrics.algorithm
+        :: List.map
+             (fun x ->
+               let hits = List.length (List.filter (fun t -> t <= x) times) in
+               Table.fmt_pct (float_of_int hits /. total))
+             thresholds)
+      [ "fifo"; "disfifo"; "lpall"; "lpst" ]
+  in
+  print_endline
+    (Table.render
+       ~align:(Table.Left :: List.map (fun _ -> Table.Right) thresholds)
+       ~header:("algorithm" :: List.map (Printf.sprintf "done by %.2fx deadline") thresholds)
+       rows)

@@ -1,0 +1,1 @@
+lib/cloud/emulator.ml: Float S3_sim S3_util

@@ -1,0 +1,1 @@
+lib/cloud/emulator.mli: S3_core S3_net S3_sim

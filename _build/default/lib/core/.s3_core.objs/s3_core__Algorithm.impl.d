@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Allocation Array Congestion List Problem S3_net S3_util S3_workload

@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Float Hashtbl List Option Problem S3_lp

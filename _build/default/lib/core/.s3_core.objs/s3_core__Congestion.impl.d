@@ -1,0 +1,1 @@
+lib/core/congestion.ml: Array Float Hashtbl List Option Problem Rtf S3_net S3_util S3_workload

@@ -1,0 +1,1 @@
+lib/core/congestion.mli: Problem S3_util

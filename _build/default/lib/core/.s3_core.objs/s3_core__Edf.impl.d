@@ -1,0 +1,1 @@
+lib/core/edf.ml: Algorithm Allocation S3_workload Sequencing

@@ -1,0 +1,1 @@
+lib/core/fifo.ml: Algorithm Allocation S3_workload Sequencing

@@ -1,0 +1,1 @@
+lib/core/lpall.ml: Algorithm Allocation Float List Problem Rtf

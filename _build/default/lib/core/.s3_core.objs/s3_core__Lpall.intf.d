@@ -1,0 +1,1 @@
+lib/core/lpall.mli: Algorithm S3_lp

@@ -1,0 +1,1 @@
+lib/core/lpst.ml: Algorithm Allocation Float Hashtbl List Option Problem Rtf S3_workload Sequencing

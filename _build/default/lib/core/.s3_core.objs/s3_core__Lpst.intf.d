@@ -1,0 +1,1 @@
+lib/core/lpst.mli: Algorithm Problem S3_lp

@@ -1,0 +1,1 @@
+lib/core/lstf.ml: Algorithm Allocation Rtf Sequencing

@@ -1,0 +1,1 @@
+lib/core/lstf.mli: Algorithm

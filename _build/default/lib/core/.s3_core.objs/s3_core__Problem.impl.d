@@ -1,0 +1,1 @@
+lib/core/problem.ml: Hashtbl List S3_net S3_workload

@@ -1,0 +1,1 @@
+lib/core/problem.mli: S3_net S3_workload

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Algorithm Edf Fifo List Lpall Lpst Lstf Printf String

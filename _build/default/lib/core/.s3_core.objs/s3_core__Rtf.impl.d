@@ -1,0 +1,1 @@
+lib/core/rtf.ml: List Problem S3_workload

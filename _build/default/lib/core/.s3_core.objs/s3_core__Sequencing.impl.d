@@ -1,0 +1,1 @@
+lib/core/sequencing.ml: Hashtbl List Problem S3_net S3_workload

@@ -1,0 +1,29 @@
+type source_policy =
+  | Random_sources of int
+  | Least_congested
+  | Shortest_path
+
+type t = {
+  name : string;
+  select_sources : Problem.view -> Problem.Task.t -> int array;
+  allocate : Problem.view -> Allocation.rates;
+  abandon_expired : bool;
+}
+
+let source_selector = function
+  | Least_congested -> Congestion.select_least_congested
+  | Random_sources seed ->
+    let g = S3_util.Prng.create seed in
+    fun _view task -> Congestion.select_random g task
+  | Shortest_path ->
+    fun (view : Problem.view) task ->
+      let module Task = S3_workload.Task in
+      let hops s =
+        List.length
+          (S3_net.Topology.route view.Problem.topo ~src:s ~dst:task.Task.destination)
+      in
+      Array.to_list task.Task.sources
+      |> List.stable_sort (fun a b ->
+             match compare (hops a) (hops b) with 0 -> compare a b | c -> c)
+      |> List.filteri (fun i _ -> i < task.Task.k)
+      |> Array.of_list

@@ -1,0 +1,38 @@
+(** The interface every scheduling algorithm implements.
+
+    Algorithms are consulted by the execution engine at two moments:
+    once per task, at arrival, to pick its [k] sources (the selection
+    then stays fixed, eq. (1) of the paper); and at every scheduling
+    event, to assign a rate to each active flow. An algorithm may keep
+    internal state (e.g. a private PRNG for random source selection),
+    so a fresh instance should be created per run. *)
+
+type source_policy =
+  | Random_sources of int  (** uniform k-subset, seeded (FIFO/EDF family) *)
+  | Least_congested  (** LPST Phase I *)
+  | Shortest_path
+      (** k sources with the fewest route hops (ties toward lower ids) —
+          the "select the closest chunk" heuristic of the paper's §3.1
+          Policy 1 *)
+
+type t = {
+  name : string;
+  select_sources : Problem.view -> Problem.Task.t -> int array;
+  (** choose [k] distinct members of the task's candidate set; the view
+      describes the system {e before} the task's flows exist *)
+  allocate : Problem.view -> Allocation.rates;
+  (** rate per active flow; omitted flows get 0; must respect
+      [view.available] on every entity *)
+  abandon_expired : bool;
+  (** [true] for algorithms with admission control (LPST, LPAll): a
+      task past its deadline is dropped and its bandwidth freed.
+      [false] for the deadline-blind heuristics (FIFO/EDF families,
+      LSTF): an expired task keeps transferring — it already counts as
+      failed, but it still occupies the network, which is precisely the
+      head-of-line blocking the paper punishes them for. *)
+}
+
+val source_selector :
+  source_policy -> Problem.view -> Problem.Task.t -> int array
+(** Build a selection function from a policy (instantiates the PRNG for
+    [Random_sources]). *)

@@ -1,0 +1,40 @@
+(** Bandwidth-allocation primitives shared by the algorithms.
+
+    All allocators return one rate per given flow (flows they were not
+    given implicitly get rate 0) and never exceed the view's available
+    capacity on any entity. *)
+
+type rates = (int * float) list
+(** [(flow_id, megabits/s)] pairs. *)
+
+val water_fill : Problem.view -> Problem.flow list -> rates
+(** Max–min fair progressive filling: every flow's rate rises in
+    lockstep; a flow freezes when some entity on its route saturates.
+    Flows with an empty route get an effectively unbounded rate capped
+    at finishing within a nominal epsilon. This is what "task receives
+    full bandwidth" means for the heuristic baselines. *)
+
+val priority_fill : Problem.view -> Problem.flow list list -> rates
+(** Strict-priority filling: groups are served in order, each
+    water-filled over the capacity the earlier groups left. EDF = one
+    group per task in deadline order; FIFO = a single head group. *)
+
+val residual_after : Problem.view -> rates -> int -> float
+(** Available capacity of an entity after subtracting the given rates
+    (used by admission checks and tests). *)
+
+val lp_allocate :
+  ?backend:S3_lp.Lp.backend ->
+  ?lower:(Problem.flow -> float) ->
+  Problem.view -> Problem.flow list -> rates option
+(** One LP: maximize the sum of rates subject to per-entity capacity
+    and per-flow lower bounds ([lower] defaults to zero everywhere).
+    [None] when the lower bounds are infeasible. Flows with empty
+    routes are excluded from the LP and given their lower bound. *)
+
+val max_feasible_scale : Problem.view -> (Problem.flow * float) list -> float
+(** [max_feasible_scale v demands] is the largest [theta in [0, 1]]
+    such that granting every flow [theta *] its demand fits all
+    capacity entities — the deadline-blind degradation LPAll applies
+    under overload. Computed exactly: theta = min over entities of
+    capacity / total demand (clamped to 1). *)

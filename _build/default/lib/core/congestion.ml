@@ -1,0 +1,59 @@
+module Task = S3_workload.Task
+module Prng = S3_util.Prng
+
+type t = (int, float) Hashtbl.t
+
+let factor t e = Option.value ~default:0. (Hashtbl.find_opt t e)
+
+let add_path t path lrb =
+  List.iter (fun e -> Hashtbl.replace t e (factor t e +. lrb)) path
+
+let path_max t path = List.fold_left (fun acc e -> max acc (factor t e)) 0. path
+
+let of_view (v : Problem.view) =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let l = Rtf.flow_lrb v f in
+      if Float.is_finite l then add_path t (Problem.route v f) l)
+    v.Problem.flows;
+  t
+
+let select_least_congested (v : Problem.view) (task : Task.t) =
+  let t = of_view v in
+  let lrb =
+    Rtf.lrb ~now:v.Problem.now ~deadline:task.Task.deadline ~remaining:task.Task.volume
+  in
+  let lrb = if Float.is_finite lrb then lrb else 0. in
+  let remaining = ref (Array.to_list task.Task.sources) in
+  let chosen = ref [] in
+  for _ = 1 to task.Task.k do
+    let scored =
+      List.map
+        (fun s ->
+          let path = S3_net.Topology.route v.Problem.topo ~src:s ~dst:task.Task.destination in
+          (path_max t path, s, path))
+        !remaining
+    in
+    let best =
+      List.fold_left
+        (fun acc cand ->
+          match acc with
+          | None -> Some cand
+          | Some (bc, bs, _) ->
+            let c, s, _ = cand in
+            if c < bc -. 1e-12 || (Float.abs (c -. bc) <= 1e-12 && s < bs) then Some cand
+            else acc)
+        None scored
+    in
+    match best with
+    | None -> invalid_arg "Congestion.select_least_congested: not enough candidates"
+    | Some (_, s, path) ->
+      chosen := s :: !chosen;
+      remaining := List.filter (fun x -> x <> s) !remaining;
+      add_path t path lrb
+  done;
+  Array.of_list (List.rev !chosen)
+
+let select_random g (task : Task.t) =
+  Array.of_list (Prng.sample g task.Task.k (Array.to_list task.Task.sources))

@@ -1,0 +1,18 @@
+module Task = S3_workload.Task
+
+let arrival_key _v ((t : Task.t), _) = t.Task.arrival
+
+let fifo ?(name = "FIFO") ?(sources = Algorithm.Random_sources 1) () =
+  { Algorithm.name;
+    select_sources = Algorithm.source_selector sources;
+    allocate = (fun v -> Allocation.priority_fill v (Sequencing.head_only v ~key:arrival_key));
+    abandon_expired = false
+  }
+
+let dis_fifo ?(name = "DisFIFO") ?(sources = Algorithm.Random_sources 1) () =
+  { Algorithm.name;
+    select_sources = Algorithm.source_selector sources;
+    allocate =
+      (fun v -> Allocation.priority_fill v (Sequencing.disjoint_groups v ~key:arrival_key));
+    abandon_expired = false
+  }

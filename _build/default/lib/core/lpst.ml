@@ -1,0 +1,115 @@
+module Task = S3_workload.Task
+
+type admission =
+  | Rtf_order
+  | Arrival_order
+
+type bandwidth =
+  | Lp_max
+  | Lrb_only
+
+let admission_key admission =
+  match admission with
+  | Rtf_order -> fun v (_, flows) -> Rtf.task_rtf v flows
+  | Arrival_order -> fun _ ((t : Task.t), _) -> t.Task.arrival
+
+(* Greedy Phase II over a candidate list, consuming [residual]
+   capacity (entity id -> remaining Mb/s, lazily seeded from the
+   view). Returns the tasks that fit. *)
+let admit_into (v : Problem.view) residual candidates =
+  let avail e =
+    match Hashtbl.find_opt residual e with
+    | Some c -> c
+    | None ->
+      let c = v.Problem.available e in
+      Hashtbl.replace residual e c;
+      c
+  in
+  List.filter
+    (fun (_, flows) ->
+      let lrbs = List.map (fun f -> (f, Rtf.flow_lrb v f)) flows in
+      if List.exists (fun (_, l) -> not (Float.is_finite l)) lrbs then false
+      else begin
+        (* Aggregate this task's demand per entity, then test fit. *)
+        let demand = Hashtbl.create 16 in
+        List.iter
+          (fun (f, l) ->
+            List.iter
+              (fun e ->
+                Hashtbl.replace demand e
+                  (Option.value ~default:0. (Hashtbl.find_opt demand e) +. l))
+              (Problem.route v f))
+          lrbs;
+        let fits = Hashtbl.fold (fun e d ok -> ok && d <= avail e +. 1e-9) demand true in
+        if fits then
+          Hashtbl.iter (fun e d -> Hashtbl.replace residual e (avail e -. d)) demand;
+        fits
+      end)
+    candidates
+
+let admit ?(admission = Rtf_order) (v : Problem.view) =
+  let ordered = Sequencing.ordered_tasks v ~key:(admission_key admission) in
+  admit_into v (Hashtbl.create 64) ordered
+
+(* Re-triage a previously admitted set against (possibly reduced)
+   capacity: keep tasks in urgency order while they fit. With static
+   capacity every survivor fits (allocations never fell below LRB), so
+   this only evicts when foreground traffic stole bandwidth. *)
+let retriage ~admission (v : Problem.view) residual admitted_tasks =
+  admit_into v residual
+    (Sequencing.ordered_tasks
+       { v with Problem.flows = List.concat_map snd admitted_tasks }
+       ~key:(admission_key admission))
+
+let lpst ?(sources = Algorithm.Least_congested) ?backend ?(admission = Rtf_order)
+    ?(bandwidth = Lp_max) ?(sticky = true) ?name () =
+  let name = Option.value ~default:"LPST" name in
+  (* Sticky admission state: once a task is admitted it keeps its
+     reservation until it completes, expires, or foreground traffic
+     forces an eviction — this is what makes "admitted tasks are
+     guaranteed to meet their deadlines" (4, Phase III) true, and it
+     prevents the thrashing where a half-finished task loses its slot
+     to a waiting one and both miss. *)
+  let admitted = Hashtbl.create 256 in
+  let allocate (v : Problem.view) =
+    if not sticky then Hashtbl.reset admitted;
+    let tasks = Problem.by_task v in
+    let active = Hashtbl.create 64 in
+    List.iter (fun ((t : Task.t), _) -> Hashtbl.replace active t.Task.id ()) tasks;
+    Hashtbl.iter
+      (fun id () -> if not (Hashtbl.mem active id) then Hashtbl.remove admitted id)
+      (Hashtbl.copy admitted);
+    let held, candidates =
+      List.partition (fun ((t : Task.t), _) -> Hashtbl.mem admitted t.Task.id) tasks
+    in
+    let residual = Hashtbl.create 64 in
+    let kept = retriage ~admission v residual held in
+    List.iter
+      (fun ((t : Task.t), _) ->
+        if not (List.exists (fun ((k : Task.t), _) -> k.Task.id = t.Task.id) kept) then
+          Hashtbl.remove admitted t.Task.id)
+      held;
+    let fresh = admit_into v residual (Sequencing.ordered_tasks
+      { v with Problem.flows = List.concat_map snd candidates }
+      ~key:(admission_key admission)) in
+    List.iter (fun ((t : Task.t), _) -> Hashtbl.replace admitted t.Task.id ()) fresh;
+    let flows = List.concat_map snd (kept @ fresh) in
+    match flows with
+    | [] -> []
+    | _ -> (
+      let lrb f = Rtf.flow_lrb v f in
+      match bandwidth with
+      | Lrb_only -> List.map (fun f -> (f.Problem.flow_id, lrb f)) flows
+      | Lp_max -> (
+        match Allocation.lp_allocate ?backend ~lower:lrb v flows with
+        | Some rates -> rates
+        | None ->
+          (* Admission guaranteed LRB fits; reach here only on solver
+             numerics. LRB rates are feasible by construction. *)
+          List.map (fun f -> (f.Problem.flow_id, lrb f)) flows))
+  in
+  { Algorithm.name;
+    select_sources = Algorithm.source_selector sources;
+    allocate;
+    abandon_expired = true
+  }

@@ -1,0 +1,42 @@
+module Task = S3_workload.Task
+module Topology = S3_net.Topology
+
+type flow = {
+  flow_id : int;
+  task : Task.t;
+  source : int;
+  remaining : float;
+}
+
+type view = {
+  now : float;
+  topo : Topology.t;
+  flows : flow list;
+  available : int -> float;
+}
+
+let route v f = Topology.route v.topo ~src:f.source ~dst:f.task.Task.destination
+
+let path_available v ~src ~dst =
+  match Topology.route v.topo ~src ~dst with
+  | [] -> infinity
+  | ids -> List.fold_left (fun acc id -> min acc (v.available id)) infinity ids
+
+let flow_path_available v f =
+  path_available v ~src:f.source ~dst:f.task.Task.destination
+
+let by_task v =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let id = f.task.Task.id in
+      match Hashtbl.find_opt tbl id with
+      | None ->
+        order := (f.task, ref [ f ]) :: !order;
+        Hashtbl.replace tbl id (List.hd !order |> snd)
+      | Some cell -> cell := f :: !cell)
+    v.flows;
+  List.rev_map (fun (t, cell) -> (t, List.rev !cell)) !order
+
+let deadline_slack v f = f.task.Task.deadline -. v.now

@@ -1,0 +1,46 @@
+(** The S3 problem as seen by a scheduling algorithm.
+
+    At every scheduling event (task arrival, flow completion, deadline
+    expiry, foreground-traffic change) the execution engine presents
+    the algorithm with a {!view}: the active {e flows} — one per
+    selected chunk of each running task — and the bandwidth currently
+    available to background traffic on each capacity entity. The
+    algorithm answers with a rate per flow. Sources are selected once,
+    at arrival, and stay fixed while the task runs (paper, eq. (1)). *)
+
+module Task = S3_workload.Task
+module Topology = S3_net.Topology
+
+type flow = {
+  flow_id : int;  (** unique within a run *)
+  task : Task.t;
+  source : int;  (** the selected source server of this subtask *)
+  remaining : float;  (** megabits still to transfer *)
+}
+
+type view = {
+  now : float;
+  topo : Topology.t;
+  flows : flow list;  (** incomplete flows of all active tasks,
+                          grouped by task in arrival order *)
+  available : int -> float;  (** entity id -> megabits/s currently
+                                 available to background traffic (raw
+                                 capacity minus foreground load) *)
+}
+
+val route : view -> flow -> int list
+(** Capacity entities this flow consumes. *)
+
+val path_available : view -> src:int -> dst:int -> float
+(** Bottleneck available bandwidth between two servers: min of
+    [available] along the route; [infinity] for an empty route. This is
+    the [C_{o,p}] in the RTF formula. *)
+
+val flow_path_available : view -> flow -> float
+
+val by_task : view -> (Task.t * flow list) list
+(** Flows grouped per task, preserving task arrival order and flow
+    order within a task. *)
+
+val deadline_slack : view -> flow -> float
+(** Seconds until the flow's deadline; negative once expired. *)

@@ -1,0 +1,18 @@
+module Task = S3_workload.Task
+
+let lrb ~now ~deadline ~remaining =
+  if remaining < 0. then invalid_arg "Rtf.lrb: negative remaining volume";
+  if deadline <= now then infinity else remaining /. (deadline -. now)
+
+let flow_lrb (v : Problem.view) (f : Problem.flow) =
+  lrb ~now:v.Problem.now ~deadline:f.Problem.task.Task.deadline ~remaining:f.Problem.remaining
+
+let flow_rtf (v : Problem.view) (f : Problem.flow) =
+  let cap = Problem.flow_path_available v f in
+  let start = max v.Problem.now f.Problem.task.Task.arrival in
+  if cap <= 0. then neg_infinity
+  else f.Problem.task.Task.deadline -. start -. (f.Problem.remaining /. cap)
+
+let task_rtf v = function
+  | [] -> invalid_arg "Rtf.task_rtf: no flows"
+  | flows -> List.fold_left (fun acc f -> min acc (flow_rtf v f)) infinity flows

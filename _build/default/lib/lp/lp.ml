@@ -1,0 +1,106 @@
+type constr = {
+  coeffs : (int * float) list;
+  bound : float;
+}
+
+type problem = {
+  nvars : int;
+  objective : float array;
+  constraints : constr list;
+  lower : float array;
+}
+
+type solution = {
+  values : float array;
+  objective_value : float;
+}
+
+type error =
+  | Infeasible
+  | Unbounded
+
+let pp_error ppf = function
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+
+type backend =
+  | Exact
+  | Approx of float
+
+let make ~nvars ~objective ?lower constraints =
+  if nvars < 0 then invalid_arg "Lp.make: negative nvars";
+  if Array.length objective <> nvars then invalid_arg "Lp.make: objective length";
+  let lower =
+    match lower with
+    | None -> Array.make nvars 0.
+    | Some l ->
+      if Array.length l <> nvars then invalid_arg "Lp.make: lower length";
+      Array.iter (fun v -> if v < 0. then invalid_arg "Lp.make: negative lower bound") l;
+      l
+  in
+  List.iter
+    (fun { coeffs; _ } ->
+      List.iter
+        (fun (j, _) ->
+          if j < 0 || j >= nvars then invalid_arg "Lp.make: variable index out of range")
+        coeffs)
+    constraints;
+  { nvars; objective; constraints; lower }
+
+let objective_of p x =
+  let acc = ref 0. in
+  for j = 0 to p.nvars - 1 do
+    acc := !acc +. (p.objective.(j) *. x.(j))
+  done;
+  !acc
+
+let feasible ?(tol = 1e-6) p x =
+  Array.length x = p.nvars
+  && (let ok = ref true in
+      for j = 0 to p.nvars - 1 do
+        if x.(j) < p.lower.(j) -. tol then ok := false
+      done;
+      List.iter
+        (fun { coeffs; bound } ->
+          let lhs = List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. coeffs in
+          if lhs > bound +. tol then ok := false)
+        p.constraints;
+      !ok)
+
+(* Dense view after the lower-bound substitution x = lower + y, y >= 0:
+   each bound becomes b - row . lower. *)
+let densify p =
+  let m = List.length p.constraints in
+  let rows = Array.make_matrix m p.nvars 0. in
+  let rhs = Array.make m 0. in
+  List.iteri
+    (fun i { coeffs; bound } ->
+      let shift = ref 0. in
+      List.iter
+        (fun (j, a) ->
+          rows.(i).(j) <- rows.(i).(j) +. a;
+          shift := !shift +. (a *. p.lower.(j)))
+        coeffs;
+      rhs.(i) <- bound -. !shift)
+    p.constraints;
+  (rows, rhs)
+
+let finish p y =
+  let values = Array.init p.nvars (fun j -> p.lower.(j) +. y.(j)) in
+  { values; objective_value = objective_of p values }
+
+let solve ?(backend = Exact) p =
+  let rows, rhs = densify p in
+  let exact () =
+    match Simplex.maximize ~obj:p.objective ~rows ~rhs with
+    | Ok y -> Ok (finish p y)
+    | Error `Infeasible -> Error Infeasible
+    | Error `Unbounded -> Error Unbounded
+  in
+  match backend with
+  | Exact -> exact ()
+  | Approx eps -> (
+    match Packing.maximize ~eps ~obj:p.objective ~rows ~rhs with
+    | Ok y -> Ok (finish p y)
+    | Error `Unbounded -> Error Unbounded
+    | Error `Not_packing -> exact ())

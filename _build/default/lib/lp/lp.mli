@@ -1,0 +1,54 @@
+(** Linear-programming front end.
+
+    The problems produced by the scheduler are small packing LPs:
+    maximize total allocated bandwidth subject to per-server and
+    per-switch capacity constraints and per-task lower bounds (least
+    required bandwidth). This module is the stable interface; the exact
+    solver lives in {!Simplex} and the approximate one in {!Packing}. *)
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable index, coefficient) *)
+  bound : float;  (** right-hand side of [row . x <= bound] *)
+}
+
+type problem = {
+  nvars : int;
+  objective : float array;  (** maximize [objective . x]; length [nvars] *)
+  constraints : constr list;
+  lower : float array;  (** per-variable lower bounds (>= 0); length [nvars] *)
+}
+
+type solution = {
+  values : float array;
+  objective_value : float;
+}
+
+type error =
+  | Infeasible
+  | Unbounded
+
+val pp_error : Format.formatter -> error -> unit
+
+type backend =
+  | Exact  (** two-phase primal simplex *)
+  | Approx of float  (** multiplicative-weights packing solver with accuracy
+                         parameter epsilon; falls back to [Exact] when the
+                         problem is not a pure packing instance *)
+
+val make :
+  nvars:int -> objective:float array -> ?lower:float array ->
+  constr list -> problem
+(** [make ~nvars ~objective constrs] builds a problem; [lower] defaults
+    to all zeros. Raises [Invalid_argument] on dimension mismatches,
+    out-of-range variable indices, or negative lower bounds. *)
+
+val solve : ?backend:backend -> problem -> (solution, error) result
+(** Solve the problem. The returned [values] satisfy every constraint
+    up to a small numerical tolerance and respect the lower bounds. *)
+
+val feasible : ?tol:float -> problem -> float array -> bool
+(** [feasible p x] checks [x] against all constraints and lower bounds
+    of [p] with tolerance [tol] (default [1e-6]). *)
+
+val objective_of : problem -> float array -> float
+(** Evaluate the objective at a point. *)

@@ -1,0 +1,22 @@
+(** Approximate solver for pure packing LPs.
+
+    Solves [maximize c . x  subject to  A x <= b, x >= 0] with all of
+    [A], [b], [c] non-negative, using the Garg–Könemann multiplicative-
+    weights scheme (the fractional-packing approach the paper cites for
+    its complexity analysis of the LPST bandwidth-assignment block).
+    The returned point is always feasible, and its objective is within
+    a [(1 - eps)]-ish factor of optimal for moderate [eps]. *)
+
+val maximize :
+  eps:float ->
+  obj:float array ->
+  rows:float array array ->
+  rhs:float array ->
+  (float array, [ `Unbounded | `Not_packing ]) result
+(** [maximize ~eps ~obj ~rows ~rhs] returns a feasible point, or
+    [`Unbounded] when some variable with positive objective appears in
+    no constraint, or [`Not_packing] when any coefficient is negative
+    (callers should then fall back to {!Simplex.maximize}). A packing
+    LP with non-negative data is always feasible at the origin, so
+    there is no [`Infeasible] case. Rows with a zero right-hand side
+    pin their variables to zero. Requires [0 < eps < 1]. *)

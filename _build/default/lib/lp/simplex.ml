@@ -1,0 +1,206 @@
+(* Dense two-phase primal simplex.
+
+   Layout of the working tableau for m constraints and n structural
+   variables: columns are [structural (n) | slack (m) | artificial (a)],
+   one extra column for the right-hand side, and one extra row for the
+   (phase-dependent) objective, kept in maximization form with reduced
+   costs in the objective row. All right-hand sides are made
+   non-negative before phase 1 by negating rows, which is what creates
+   the need for artificial variables (a negated row has slack
+   coefficient -1 and cannot serve as the initial basic variable). *)
+
+let eps = 1e-9
+
+type tableau = {
+  t : float array array;  (* (m+1) x (ncols+1); last row = objective *)
+  basis : int array;  (* basis.(i) = column basic in row i *)
+  m : int;
+  ncols : int;
+}
+
+let pivot tb ~row ~col =
+  let a = tb.t in
+  let p = a.(row).(col) in
+  let width = tb.ncols + 1 in
+  let r = a.(row) in
+  for j = 0 to width - 1 do
+    r.(j) <- r.(j) /. p
+  done;
+  for i = 0 to tb.m do
+    if i <> row then begin
+      let f = a.(i).(col) in
+      if Float.abs f > 0. then begin
+        let ri = a.(i) in
+        for j = 0 to width - 1 do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done
+      end
+    end
+  done;
+  tb.basis.(row) <- col
+
+(* Entering column: most positive reduced cost (we maximize, so the
+   objective row stores c_j - z_j and we look for positive entries).
+   After [stall_budget] consecutive degenerate pivots we switch to
+   Bland's rule (lowest eligible index), which provably terminates. *)
+let entering tb ~bland =
+  let obj = tb.t.(tb.m) in
+  if bland then begin
+    let rec find j = if j >= tb.ncols then None else if obj.(j) > eps then Some j else find (j + 1) in
+    find 0
+  end
+  else begin
+    let best = ref (-1) and best_v = ref eps in
+    for j = 0 to tb.ncols - 1 do
+      if obj.(j) > !best_v then begin
+        best := j;
+        best_v := obj.(j)
+      end
+    done;
+    if !best < 0 then None else Some !best
+  end
+
+let leaving tb ~col ~bland =
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to tb.m - 1 do
+    let a = tb.t.(i).(col) in
+    if a > eps then begin
+      let ratio = tb.t.(i).(tb.ncols) /. a in
+      let better =
+        ratio < !best_ratio -. eps
+        || (ratio < !best_ratio +. eps
+            && !best >= 0
+            && (if bland then tb.basis.(i) < tb.basis.(!best)
+                else tb.t.(i).(col) > tb.t.(!best).(col)))
+      in
+      if !best < 0 || better then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+let run_phase tb =
+  let max_iters = 200 * (tb.m + tb.ncols) + 1000 in
+  let stall_budget = 4 * (tb.m + tb.ncols) in
+  let rec loop iter stalls =
+    if iter > max_iters then `Optimal (* pathological; tableau is still feasible *)
+    else begin
+      let bland = stalls > stall_budget in
+      match entering tb ~bland with
+      | None -> `Optimal
+      | Some col ->
+        (match leaving tb ~col ~bland with
+         | None -> `Unbounded
+         | Some row ->
+           let degenerate = tb.t.(row).(tb.ncols) < eps in
+           pivot tb ~row ~col;
+           loop (iter + 1) (if degenerate then stalls + 1 else 0))
+    end
+  in
+  loop 0 0
+
+let maximize ~obj ~rows ~rhs =
+  let n = Array.length obj in
+  let m = Array.length rows in
+  if Array.length rhs <> m then invalid_arg "Simplex.maximize: rhs length";
+  Array.iter
+    (fun r -> if Array.length r <> n then invalid_arg "Simplex.maximize: row length")
+    rows;
+  (* Normalize to non-negative rhs, noting which rows need artificials. *)
+  let need_art = Array.map (fun b -> b < 0.) rhs in
+  let nart = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 need_art in
+  let ncols = n + m + nart in
+  let t = Array.make_matrix (m + 1) (ncols + 1) 0. in
+  let basis = Array.make m 0 in
+  let art_idx = ref (n + m) in
+  for i = 0 to m - 1 do
+    let sign = if need_art.(i) then -1. else 1. in
+    for j = 0 to n - 1 do
+      t.(i).(j) <- sign *. rows.(i).(j)
+    done;
+    t.(i).(n + i) <- sign;
+    t.(i).(ncols) <- sign *. rhs.(i);
+    if need_art.(i) then begin
+      t.(i).(!art_idx) <- 1.;
+      basis.(i) <- !art_idx;
+      incr art_idx
+    end
+    else basis.(i) <- n + i
+  done;
+  let tb = { t; basis; m; ncols } in
+  let infeasible = ref false in
+  if nart > 0 then begin
+    (* Phase 1: maximize -(sum of artificials). Objective row must hold
+       reduced costs w.r.t. the current (artificial) basis: start with
+       -1 in each artificial column, then add each artificial row to
+       zero out its basic column. *)
+    for j = n + m to ncols - 1 do
+      t.(m).(j) <- -1.
+    done;
+    for i = 0 to m - 1 do
+      if basis.(i) >= n + m then
+        for j = 0 to ncols do
+          t.(m).(j) <- t.(m).(j) +. t.(i).(j)
+        done
+    done;
+    (match run_phase tb with
+     | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+     | `Optimal -> ());
+    (* The objective row's rhs holds -(objective value); phase 1
+       maximizes -(sum of artificials), so a positive residual means
+       some artificial is stuck above zero: infeasible. *)
+    if t.(m).(ncols) > 1e-7 then infeasible := true
+    else begin
+      (* Pivot any artificial still in the basis out (degenerate rows). *)
+      for i = 0 to m - 1 do
+        if basis.(i) >= n + m then begin
+          let found = ref false in
+          let j = ref 0 in
+          while (not !found) && !j < n + m do
+            if Float.abs t.(i).(!j) > eps then begin
+              pivot tb ~row:i ~col:!j;
+              found := true
+            end;
+            incr j
+          done
+          (* If no pivot exists the row is all-zero and harmless. *)
+        end
+      done
+    end
+  end;
+  if !infeasible then Error `Infeasible
+  else begin
+    (* Phase 2: install the real objective expressed in reduced costs
+       w.r.t. the current basis, and forbid artificial columns. *)
+    for j = 0 to ncols do
+      t.(m).(j) <- 0.
+    done;
+    for j = 0 to n - 1 do
+      t.(m).(j) <- obj.(j)
+    done;
+    for i = 0 to m - 1 do
+      let b = basis.(i) in
+      if b < n then begin
+        let c = t.(m).(b) in
+        if Float.abs c > 0. then
+          for j = 0 to ncols do
+            t.(m).(j) <- t.(m).(j) -. (c *. t.(i).(j))
+          done
+      end
+    done;
+    for j = n + m to ncols - 1 do
+      t.(m).(j) <- -.infinity (* never re-enter an artificial column *)
+    done;
+    match run_phase tb with
+    | `Unbounded -> Error `Unbounded
+    | `Optimal ->
+      let x = Array.make n 0. in
+      for i = 0 to m - 1 do
+        if basis.(i) < n then x.(basis.(i)) <- t.(i).(ncols)
+      done;
+      (* Clamp the tiny negatives produced by floating-point pivoting. *)
+      Array.iteri (fun i v -> if v < 0. && v > -1e-7 then x.(i) <- 0.) x;
+      Ok x
+  end

@@ -1,0 +1,18 @@
+(** Two-phase primal simplex on a dense tableau.
+
+    Solves [maximize obj . x  subject to  A x <= rhs, x >= 0] where
+    entries of [rhs] may be negative (phase 1 with artificial variables
+    restores feasibility). Pivot selection uses Dantzig's rule with a
+    Bland's-rule fallback after a stall budget, so the method terminates
+    on degenerate instances. Intended for the small/medium dense
+    problems produced by the scheduler (tens to a few hundred variables
+    and rows). *)
+
+val maximize :
+  obj:float array ->
+  rows:float array array ->
+  rhs:float array ->
+  (float array, [ `Infeasible | `Unbounded ]) result
+(** [maximize ~obj ~rows ~rhs] returns an optimal vertex or the reason
+    none exists. [rows] is the dense constraint matrix; every row must
+    have the same length as [obj]. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float Foreground Hashtbl List Logs Metrics Option Printf S3_core S3_net S3_util S3_workload String Sys

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Foreground Metrics S3_core S3_net

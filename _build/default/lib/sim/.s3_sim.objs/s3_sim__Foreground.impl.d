@@ -1,0 +1,1 @@
+lib/sim/foreground.ml: Array Float S3_net S3_util

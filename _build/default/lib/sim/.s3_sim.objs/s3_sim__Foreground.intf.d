@@ -1,0 +1,1 @@
+lib/sim/foreground.mli: S3_net S3_util

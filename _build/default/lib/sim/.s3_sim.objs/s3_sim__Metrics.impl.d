@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: List S3_util S3_workload

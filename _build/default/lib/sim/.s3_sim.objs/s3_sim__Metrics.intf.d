@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: S3_workload

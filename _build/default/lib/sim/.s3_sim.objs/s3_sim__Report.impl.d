@@ -1,0 +1,1 @@
+lib/sim/report.ml: Buffer List Metrics Printf S3_util S3_workload

@@ -1,0 +1,362 @@
+module Task = S3_workload.Task
+module Topology = S3_net.Topology
+module Problem = S3_core.Problem
+module Algorithm = S3_core.Algorithm
+
+let src = Logs.Src.create "s3.engine" ~doc:"S3 scheduling engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  foreground : Foreground.config;
+  seed : int;
+}
+
+let default_config = { foreground = Foreground.none; seed = 7 }
+
+type data_plane = {
+  control_latency : unit -> float;
+  (* seconds all transfers stay paused after a scheduling event (the
+     cloud prototype pauses rsync, recomputes, and reissues ssh
+     commands); 0 for the ideal simulator *)
+  shape_rate : flow_id:int -> float -> float;
+  (* per-flow distortion of the assigned rate (quantization, jitter);
+     must never return more than the assigned rate *)
+}
+
+let ideal_data_plane = { control_latency = (fun () -> 0.); shape_rate = (fun ~flow_id:_ r -> r) }
+
+type live_flow = {
+  flow_id : int;
+  source : int;
+  mutable remaining : float;
+  mutable rate : float;
+}
+
+type live_task = {
+  task : Task.t;
+  lflows : live_flow array;
+  mutable resolved : bool;  (* flows gone: completed or abandoned *)
+  mutable failed : bool;  (* deadline passed with volume outstanding *)
+}
+
+let volume_epsilon = 1e-6  (* megabits; ~0.1 byte *)
+let time_epsilon = 1e-9
+
+let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event topo
+    (alg : Algorithm.t) tasks =
+  let pending = Array.of_list (List.sort Task.compare_arrival tasks) in
+  Array.iter
+    (fun (t : Task.t) ->
+      let ok s = s >= 0 && s < Topology.servers topo in
+      if not (ok t.Task.destination && Array.for_all ok t.Task.sources) then
+        invalid_arg "Engine.run: task references servers outside the topology")
+    pending;
+  let fg = Foreground.create (S3_util.Prng.create config.seed) topo config.foreground in
+  let nent = Array.length (Topology.entities topo) in
+  let entity_bits = Array.make nent 0. in
+  let active = ref [] in  (* reverse arrival order *)
+  let next_pending = ref 0 in
+  let next_flow_id = ref 0 in
+  let now = ref 0. in
+  let outcomes = Hashtbl.create (Array.length pending * 2) in
+  let plan_time = ref 0. and plan_calls = ref 0 in
+  let frozen_until = ref 0. in  (* transfers paused until this time *)
+  let events = ref 0 and clamp_events = ref 0 in
+  let route_cache = Hashtbl.create 256 in
+  let route ~src ~dst =
+    match Hashtbl.find_opt route_cache (src, dst) with
+    | Some r -> r
+    | None ->
+      let r = Topology.route topo ~src ~dst in
+      Hashtbl.replace route_cache (src, dst) r;
+      r
+  in
+  let live_flows lt =
+    Array.to_list lt.lflows |> List.filter (fun f -> f.remaining > 0.)
+  in
+  let make_view () =
+    let flows =
+      List.rev !active
+      |> List.concat_map (fun lt ->
+             if lt.resolved then []
+             else
+               List.map
+                 (fun f ->
+                   { Problem.flow_id = f.flow_id;
+                     task = lt.task;
+                     source = f.source;
+                     remaining = f.remaining
+                   })
+                 (live_flows lt))
+    in
+    { Problem.now = !now; topo; flows; available = Foreground.available fg }
+  in
+  (* Scale any over-committed entity's flows down proportionally; a
+     correct algorithm never triggers this. *)
+  let clamp_rates () =
+    let clamped = ref false in
+    let pass () =
+      let usage = Array.make nent 0. in
+      let flows_of = Array.make nent [] in
+      List.iter
+        (fun lt ->
+          if not lt.resolved then
+            Array.iter
+              (fun f ->
+                if f.rate > 0. && f.remaining > 0. then
+                  List.iter
+                    (fun e ->
+                      usage.(e) <- usage.(e) +. f.rate;
+                      flows_of.(e) <- f :: flows_of.(e))
+                    (route ~src:f.source ~dst:lt.task.Task.destination))
+              lt.lflows)
+        !active;
+      let violated = ref false in
+      for e = 0 to nent - 1 do
+        let avail = Foreground.available fg e in
+        if usage.(e) > avail +. 1e-6 then begin
+          violated := true;
+          clamped := true;
+          Log.warn (fun m ->
+              m "t=%.3f clamping entity %d: allocated %.3f > available %.3f" !now e usage.(e)
+                avail);
+          let scale = max 0. (avail /. usage.(e)) in
+          List.iter (fun f -> f.rate <- f.rate *. scale) flows_of.(e)
+        end
+      done;
+      !violated
+    in
+    let rec go n = if n > 0 && pass () then go (n - 1) in
+    go 10;
+    if !clamped then incr clamp_events
+  in
+  let recompute () =
+    let view = make_view () in
+    let t0 = Sys.time () in
+    let rates = alg.Algorithm.allocate view in
+    plan_time := !plan_time +. (Sys.time () -. t0);
+    incr plan_calls;
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (fid, r) -> Hashtbl.replace tbl fid (max 0. r)) rates;
+    List.iter
+      (fun lt ->
+        Array.iter
+          (fun f -> f.rate <- Option.value ~default:0. (Hashtbl.find_opt tbl f.flow_id))
+          lt.lflows)
+      !active;
+    clamp_rates ();
+    (* Data-plane distortion: applied after clamping and only ever
+       downward, so feasibility is preserved. *)
+    List.iter
+      (fun lt ->
+        Array.iter
+          (fun f ->
+            if f.rate > 0. then
+              f.rate <- max 0. (min f.rate (data_plane.shape_rate ~flow_id:f.flow_id f.rate)))
+          lt.lflows)
+      !active;
+    let pause = data_plane.control_latency () in
+    if pause > 0. then frozen_until := max !frozen_until (!now +. pause);
+    match on_event with
+    | None -> ()
+    | Some hook -> hook !now view rates
+  in
+  let record_outcome lt ~completed =
+    Log.debug (fun m ->
+        m "t=%.3f task#%d %s" !now lt.task.Task.id
+          (if completed then "completed" else "missed deadline"));
+    Hashtbl.replace outcomes lt.task.Task.id
+      { Metrics.task = lt.task;
+        sources = Array.map (fun f -> f.source) lt.lflows;
+        completed;
+        finish_time = (if completed then !now else lt.task.Task.deadline);
+        remaining =
+          (if completed then 0.
+           else Array.fold_left (fun acc f -> acc +. max 0. f.remaining) 0. lt.lflows)
+      }
+  in
+  let drop_flows lt =
+    lt.resolved <- true;
+    Array.iter
+      (fun f ->
+        f.rate <- 0.;
+        f.remaining <- 0.)
+      lt.lflows
+  in
+  let spawn (t : Task.t) =
+    let view = make_view () in
+    let sources = alg.Algorithm.select_sources view t in
+    (* Validate: exactly k distinct candidates. *)
+    if Array.length sources <> t.Task.k then
+      failwith (Printf.sprintf "%s: selected %d sources, need %d" alg.Algorithm.name
+                  (Array.length sources) t.Task.k);
+    let candidate s = Array.exists (fun c -> c = s) t.Task.sources in
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun s ->
+        if not (candidate s) then
+          failwith (Printf.sprintf "%s: selected non-candidate source %d" alg.Algorithm.name s);
+        if Hashtbl.mem seen s then
+          failwith (Printf.sprintf "%s: duplicate source %d" alg.Algorithm.name s);
+        Hashtbl.replace seen s ())
+      sources;
+    let lflows =
+      Array.map
+        (fun source ->
+          let flow_id = !next_flow_id in
+          incr next_flow_id;
+          { flow_id; source; remaining = t.Task.volume; rate = 0. })
+        sources
+    in
+    Log.debug (fun m ->
+        m "t=%.3f spawn %a sources=[%s]" !now Task.pp t
+          (String.concat ";" (Array.to_list (Array.map string_of_int sources))));
+    active := { task = t; lflows; resolved = false; failed = false } :: !active
+  in
+  let moved_total = ref 0. in
+  (* Transfer over [now, now+dt), minus any initial frozen span. *)
+  let advance_volumes dt =
+    let dt =
+      if !frozen_until <= !now then dt
+      else max 0. (dt -. (min !frozen_until (!now +. dt) -. !now))
+    in
+    if dt > 0. then
+      List.iter
+        (fun lt ->
+          if not lt.resolved then
+            Array.iter
+              (fun f ->
+                if f.rate > 0. && f.remaining > 0. then begin
+                  let moved = min f.remaining (f.rate *. dt) in
+                  f.remaining <- f.remaining -. moved;
+                  moved_total := !moved_total +. moved;
+                  List.iter
+                    (fun e -> entity_bits.(e) <- entity_bits.(e) +. moved)
+                    (route ~src:f.source ~dst:lt.task.Task.destination)
+                end)
+              lt.lflows)
+        !active
+  in
+  let next_event_time () =
+    let t_arr =
+      if !next_pending < Array.length pending then pending.(!next_pending).Task.arrival
+      else infinity
+    in
+    let t_fg = Foreground.next_change fg in
+    let t_dl, t_cmp =
+      List.fold_left
+        (fun (dl, cmp) lt ->
+          if lt.resolved then (dl, cmp)
+          else begin
+            let dl = if lt.failed then dl else min dl lt.task.Task.deadline in
+            let transfer_start = max !now !frozen_until in
+            let cmp =
+              Array.fold_left
+                (fun c f ->
+                  if f.rate > 0. && f.remaining > 0. then
+                    min c (transfer_start +. (f.remaining /. f.rate))
+                  else c)
+                cmp lt.lflows
+            in
+            (dl, cmp)
+          end)
+        (infinity, infinity) !active
+    in
+    min (min t_arr t_fg) (min t_dl t_cmp)
+  in
+  let stalls = ref 0 in
+  let unresolved () = List.exists (fun lt -> not lt.resolved) !active in
+  recompute ();
+  while unresolved () || !next_pending < Array.length pending do
+    let t_next = next_event_time () in
+    if not (Float.is_finite t_next) then
+      failwith "Engine.run: no future event but tasks remain";
+    let dt = max 0. (t_next -. !now) in
+    advance_volumes dt;
+    now := max !now t_next;
+    Foreground.advance fg !now;
+    let processed = ref 0 in
+    (* Completions first: a flow finishing exactly at the deadline counts. *)
+    List.iter
+      (fun lt ->
+        if not lt.resolved then begin
+          Array.iter
+            (fun f -> if f.remaining > 0. && f.remaining <= volume_epsilon then f.remaining <- 0.)
+            lt.lflows;
+          if Array.for_all (fun f -> f.remaining <= 0.) lt.lflows then begin
+            (* A task that already failed keeps its failure outcome even
+               if a deadline-blind heuristic finishes it later. *)
+            if not lt.failed then record_outcome lt ~completed:true;
+            lt.resolved <- true;
+            incr processed
+          end
+        end)
+      !active;
+    (* Deadline expiries: record the failure (and the remaining-volume
+       metric) now; abandon the flows only if the algorithm has
+       admission control, otherwise they keep occupying the network. *)
+    List.iter
+      (fun lt ->
+        if (not lt.resolved) && (not lt.failed)
+           && lt.task.Task.deadline <= !now +. time_epsilon
+        then begin
+          record_outcome lt ~completed:false;
+          lt.failed <- true;
+          if alg.Algorithm.abandon_expired then drop_flows lt;
+          incr processed
+        end)
+      !active;
+    (* Arrivals: gather the batch due now and present it in static-slack
+       order — the batch analogue of Phase II's urgency ranking, so a
+       congestion-aware Phase I sees the most constrained task's flows
+       first (each spawn's view includes the earlier ones). *)
+    let batch = ref [] in
+    while
+      !next_pending < Array.length pending
+      && pending.(!next_pending).Task.arrival <= !now +. time_epsilon
+    do
+      batch := pending.(!next_pending) :: !batch;
+      incr next_pending;
+      incr processed
+    done;
+    let static_slack (t : Task.t) =
+      let dest_cap =
+        (Topology.entity topo (Topology.server_entity topo t.Task.destination))
+          .Topology.capacity
+      in
+      t.Task.deadline -. t.Task.arrival -. (Task.total_volume t /. dest_cap)
+    in
+    List.stable_sort (fun a b -> compare (static_slack a) (static_slack b)) !batch
+    |> List.iter spawn;
+    active := List.filter (fun lt -> not lt.resolved) !active;
+    if !processed = 0 && dt <= 0. then begin
+      incr stalls;
+      if !stalls > 1000 then failwith "Engine.run: stalled (no event progress)"
+    end
+    else stalls := 0;
+    incr events;
+    recompute ()
+  done;
+  let horizon = max !now 1e-9 in
+  let util_sum = ref 0. in
+  Array.iteri
+    (fun e bits ->
+      let raw = (Topology.entity topo e).Topology.capacity in
+      util_sum := !util_sum +. (bits /. (raw *. horizon)))
+    entity_bits;
+  let outcomes_list =
+    Array.to_list pending
+    |> List.sort (fun (a : Task.t) b -> compare a.Task.id b.Task.id)
+    |> List.map (fun (t : Task.t) -> Hashtbl.find outcomes t.Task.id)
+  in
+  { Metrics.algorithm = alg.Algorithm.name;
+    outcomes = outcomes_list;
+    horizon;
+    transferred = !moved_total;
+    utilization = (if nent = 0 then 0. else !util_sum /. float_of_int nent);
+    plan_time = !plan_time;
+    plan_calls = !plan_calls;
+    events = !events;
+    clamp_events = !clamp_events
+  }

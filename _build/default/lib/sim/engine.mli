@@ -1,0 +1,53 @@
+(** Event-driven flow-level execution engine — the OCaml counterpart of
+    the paper's custom simulator (§5.1).
+
+    The engine plays a task list against a scheduling algorithm on a
+    topology. Between events every flow transfers at its assigned rate;
+    events are task arrivals, flow completions, deadline expiries and
+    foreground-traffic changes, and after each batch of simultaneous
+    events the algorithm recomputes the full allocation (exactly the
+    paper's "whenever an event occurs ... perform computations based on
+    the scheduling algorithm"). Tasks still incomplete at their
+    deadline are abandoned; their untransferred volume is recorded as
+    the paper's {e remaining volume} metric.
+
+    The engine trusts but verifies: allocations exceeding available
+    capacity on an entity are scaled back proportionally and the
+    incident is counted in [clamp_events] (always 0 for the shipped
+    algorithms — the tests assert this). *)
+
+type config = {
+  foreground : Foreground.config;
+  seed : int;  (** seeds the foreground process *)
+}
+
+val default_config : config
+(** No foreground traffic, seed 7. *)
+
+type data_plane = {
+  control_latency : unit -> float;
+      (** seconds every transfer stays paused after a scheduling event —
+          the cloud prototype pauses rsync, recomputes, and re-issues
+          ssh commands on each event; 0 in the ideal simulator *)
+  shape_rate : flow_id:int -> float -> float;
+      (** per-flow distortion of an assigned rate (quantization,
+          throughput jitter); the engine never lets it exceed the
+          assigned rate, so shaping cannot violate capacity *)
+}
+
+val ideal_data_plane : data_plane
+(** No latency, rates applied exactly (the simulator of §5.1). *)
+
+val run :
+  ?config:config ->
+  ?data_plane:data_plane ->
+  ?on_event:(float -> S3_core.Problem.view -> S3_core.Allocation.rates -> unit) ->
+  S3_net.Topology.t ->
+  S3_core.Algorithm.t ->
+  Metrics.Task.t list ->
+  Metrics.run
+(** Execute to quiescence and report. [on_event] observes every
+    post-recomputation state (used by the Table 2 walkthrough). Tasks
+    may be given in any order; destinations and sources must be valid
+    servers of the topology. Raises [Failure] if the algorithm returns
+    an invalid source selection. *)

@@ -1,0 +1,52 @@
+(** Per-run measurements — the paper's three evaluation metrics
+    (§5.1): tasks completed by deadline, remaining volume of failed
+    tasks, and average link utilization — plus scheduling-plan
+    computation cost for the Fig. 5 overhead study. *)
+
+module Task = S3_workload.Task
+
+type outcome = {
+  task : Task.t;
+  sources : int array;  (** the k sources the algorithm selected *)
+  completed : bool;
+  finish_time : float;  (** completion time, or the deadline for failures *)
+  remaining : float;  (** megabits untransferred at the deadline; 0 if completed *)
+}
+
+type run = {
+  algorithm : string;
+  outcomes : outcome list;  (** one per task, in task order *)
+  horizon : float;  (** time the last task resolved *)
+  transferred : float;  (** total megabits moved (all flows) *)
+  utilization : float;  (** mean over entities of bits moved / (raw capacity x horizon) *)
+  plan_time : float;  (** CPU seconds spent inside the algorithm's allocate *)
+  plan_calls : int;
+  events : int;  (** scheduling events processed *)
+  clamp_events : int;  (** allocations the engine had to scale down to
+                           fit capacity — 0 for well-behaved algorithms *)
+}
+
+val completed : run -> int
+(** Number of tasks that met their deadline. *)
+
+val completed_fraction : run -> float
+
+val remaining_volume : run -> float
+(** Total megabits left untransferred at failed tasks' deadlines — the
+    paper's "remaining volume" (they quote it in GB; divide by 8000). *)
+
+val remaining_volume_gb : run -> float
+(** Remaining volume in gigabytes. *)
+
+val normalized_completion_times : run -> float list
+(** For completed tasks: (finish - arrival) / (deadline - arrival), the
+    x-axis of the paper's Fig. 4 CDF. *)
+
+val mean_plan_time : run -> float
+(** Average seconds per scheduling-plan computation (Fig. 5 metric). *)
+
+val summary_row : run -> string list
+(** [algorithm; completed; remaining GB; utilization] — the columns of
+    Fig. 2 — formatted for {!S3_util.Table}. *)
+
+val summary_header : string list

@@ -1,0 +1,1 @@
+lib/storage/cluster.ml: Array Fun Hashtbl List Placement S3_net S3_util

@@ -1,0 +1,1 @@
+lib/storage/cluster.mli: Placement S3_net S3_util

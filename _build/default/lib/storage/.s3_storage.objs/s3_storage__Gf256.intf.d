@@ -1,0 +1,1 @@
+lib/storage/gf256.mli:

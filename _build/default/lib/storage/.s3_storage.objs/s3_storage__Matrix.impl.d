@@ -1,0 +1,1 @@
+lib/storage/matrix.ml: Array Format Gf256 List

@@ -1,0 +1,1 @@
+lib/storage/matrix.mli: Format

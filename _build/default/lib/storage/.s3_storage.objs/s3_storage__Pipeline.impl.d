@@ -1,0 +1,1 @@
+lib/storage/pipeline.ml: Array Bytes Cluster Hashtbl List Option Reed_solomon S3_net S3_util Store

@@ -1,0 +1,1 @@
+lib/storage/pipeline.mli: Cluster Placement Reed_solomon S3_util Store

@@ -1,0 +1,1 @@
+lib/storage/placement.ml: Array Fun Hashtbl Int64 List S3_net S3_util

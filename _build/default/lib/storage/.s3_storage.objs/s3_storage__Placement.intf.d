@@ -1,0 +1,1 @@
+lib/storage/placement.mli: S3_net S3_util

@@ -1,0 +1,1 @@
+lib/storage/reed_solomon.ml: Array Bytes Char Gf256 List Matrix

@@ -1,0 +1,1 @@
+lib/storage/reed_solomon.mli:

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Bytes Char Hashtbl List Option S3_util

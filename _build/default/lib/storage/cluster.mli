@@ -1,0 +1,77 @@
+(** Cluster metadata: which chunk of which file lives on which server.
+
+    This is the bookkeeping layer a real deployment keeps in its
+    metadata service. It tracks per-file erasure-code parameters and
+    chunk locations, marks servers failed, and answers the questions
+    the background-task generators need: which chunks were lost, who
+    still holds survivors, and where a repaired chunk may be placed. *)
+
+type file_id = int
+
+type file = {
+  id : file_id;
+  n : int;  (** total chunks *)
+  k : int;  (** chunks needed to reconstruct *)
+  chunk_volume : float;  (** per-chunk size, megabits *)
+  locations : int array;  (** chunk index -> server, length [n];
+                              [-1] marks a lost, not-yet-repaired chunk *)
+}
+
+type t
+
+val create : S3_net.Topology.t -> t
+
+val topology : t -> S3_net.Topology.t
+
+val add_file :
+  t -> S3_util.Prng.t -> ?policy:Placement.policy -> n:int -> k:int ->
+  chunk_volume:float -> unit -> file_id
+(** Place a new [(n, k)]-coded file (default policy [Rack_aware]).
+    Raises [Invalid_argument] on bad code parameters or when fewer than
+    [n] servers are alive. *)
+
+val file : t -> file_id -> file
+(** Raises [Not_found] on unknown ids. *)
+
+val files : t -> file list
+(** All files, in id order. *)
+
+val alive : t -> int -> bool
+(** Is this server up? *)
+
+val alive_servers : t -> int list
+
+val chunks_on : t -> int -> (file_id * int) list
+(** Chunks currently stored on a server (file, chunk index). *)
+
+val survivors : t -> file_id -> (int * int) list
+(** [(chunk index, server)] pairs of the file's live chunks — the
+    candidate sources o_{i,1..w} of a repair task. *)
+
+val lost_chunks : t -> file_id -> int list
+(** Chunk indices currently unplaced. *)
+
+val fail_server : t -> int -> (file_id * int) list
+(** Mark a server failed; its chunks become lost and are returned.
+    Failing a dead server returns []. *)
+
+val revive_server : t -> int -> unit
+(** Bring a server back empty (its old chunks stay lost until
+    repaired). *)
+
+val repair_destination : t -> S3_util.Prng.t -> file_id -> int option
+(** A uniformly random alive server that holds no chunk of the file —
+    where the repaired chunk will be written. [None] if no such server
+    exists. *)
+
+val place_chunk : t -> file_id -> chunk:int -> server:int -> unit
+(** Record a repaired/moved chunk. Raises [Invalid_argument] if the
+    server is dead or already holds a chunk of this file, or if the
+    chunk is not currently lost (use [evict_chunk] first to move). *)
+
+val evict_chunk : t -> file_id -> chunk:int -> unit
+(** Forget a chunk's location (rebalance departure); it becomes lost
+    until placed again. *)
+
+val total_stored_volume : t -> float
+(** Sum of all placed chunk volumes, megabits. *)

@@ -1,0 +1,41 @@
+let poly = 0x11D
+let field = 256
+let generator = 2
+
+(* exp table of length 510 so that mul can skip the mod 255 reduction. *)
+let exp_table, log_table =
+  let exp = Array.make 510 0 in
+  let log = Array.make field 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x * generator;
+    if !x >= field then x := !x lxor poly
+  done;
+  for i = 255 to 509 do
+    exp.(i) <- exp.(i - 255)
+  done;
+  (exp, log)
+
+let check a =
+  if a < 0 || a > 255 then invalid_arg "Gf256: element out of range"
+
+let add a b = a lxor b
+let sub = add
+
+let mul a b = if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  exp_table.(255 - log_table.(a))
+
+let div a b =
+  if b = 0 then raise Division_by_zero;
+  if a = 0 then 0 else exp_table.(log_table.(a) + 255 - log_table.(b))
+
+let pow a e =
+  if e < 0 then invalid_arg "Gf256.pow: negative exponent";
+  if e = 0 then 1
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) * e mod 255)

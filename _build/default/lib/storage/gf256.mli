@@ -1,0 +1,20 @@
+(** Arithmetic in GF(2⁸), the field underlying the Reed–Solomon codec.
+
+    Elements are ints in [0, 255]. Addition is XOR; multiplication uses
+    exp/log tables over the AES-friendly primitive polynomial
+    x⁸+x⁴+x³+x²+1 (0x11D), the standard choice in storage systems
+    (ISA-L, Jerasure). All operations are total on valid elements;
+    [div] and [inv] raise [Division_by_zero] on a zero divisor. *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+(** In characteristic 2, [sub = add]. *)
+
+val mul : int -> int -> int
+val div : int -> int -> int
+val inv : int -> int
+val pow : int -> int -> int
+(** [pow a e] with [e >= 0]; [pow 0 0 = 1]. *)
+
+val check : int -> unit
+(** Raises [Invalid_argument] unless the value is in [0, 255]. *)

@@ -1,0 +1,123 @@
+type code = {
+  n : int;
+  k : int;
+  gen : Matrix.t;  (* n x k; rows 0..k-1 are the identity *)
+}
+
+let make ~n ~k =
+  if k <= 0 || n < k || n > 256 then invalid_arg "Reed_solomon.make: need 0 < k <= n <= 256";
+  (* Parity rows form a Cauchy matrix with x_i = parity row index
+     (k .. n-1) and y_j = data column index (0 .. k-1); the index sets
+     are disjoint, so every square submatrix of the parity block — and
+     hence every k-row submatrix of [I; C] — is invertible. *)
+  let gen =
+    Matrix.init ~rows:n ~cols:k (fun i j ->
+        if i < k then if i = j then 1 else 0
+        else Gf256.inv (Gf256.add i j))
+  in
+  { n; k; gen }
+
+let n c = c.n
+let k c = c.k
+
+let shard_length c ~data_length =
+  if data_length < 0 then invalid_arg "Reed_solomon.shard_length";
+  (data_length + c.k - 1) / c.k
+
+let encode c data =
+  let len = shard_length c ~data_length:(Bytes.length data) in
+  let len = max len 1 in
+  let shards = Array.init c.n (fun _ -> Bytes.make len '\000') in
+  (* Data shards: verbatim split with zero padding. *)
+  for j = 0 to c.k - 1 do
+    for p = 0 to len - 1 do
+      let src = (j * len) + p in
+      if src < Bytes.length data then Bytes.set shards.(j) p (Bytes.get data src)
+    done
+  done;
+  (* Parity shards: per byte position, multiply the data column by the
+     parity rows of the generator. *)
+  for i = c.k to c.n - 1 do
+    for p = 0 to len - 1 do
+      let acc = ref 0 in
+      for j = 0 to c.k - 1 do
+        acc := Gf256.add !acc (Gf256.mul (Matrix.get c.gen i j) (Char.code (Bytes.get shards.(j) p)))
+      done;
+      Bytes.set shards.(i) p (Char.chr !acc)
+    done
+  done;
+  shards
+
+let check_shards c shards =
+  let seen = Array.make c.n false in
+  let len = ref (-1) in
+  List.iter
+    (fun (idx, s) ->
+      if idx < 0 || idx >= c.n then invalid_arg "Reed_solomon: shard index out of range";
+      if seen.(idx) then invalid_arg "Reed_solomon: duplicate shard index";
+      seen.(idx) <- true;
+      if !len < 0 then len := Bytes.length s
+      else if Bytes.length s <> !len then invalid_arg "Reed_solomon: shard length mismatch")
+    shards;
+  if List.length shards < c.k then invalid_arg "Reed_solomon: need at least k shards";
+  !len
+
+(* Recover the k data shards from any k received shards. *)
+let data_shards c shards =
+  let len = check_shards c shards in
+  let chosen = List.filteri (fun i _ -> i < c.k) shards in
+  let idxs = List.map fst chosen in
+  let sub = Matrix.select_rows c.gen idxs in
+  match Matrix.invert sub with
+  | None -> assert false (* Cauchy construction: every k-subset is invertible *)
+  | Some inv ->
+    let out = Array.init c.k (fun _ -> Bytes.make len '\000') in
+    let col = Array.make c.k 0 in
+    let srcs = Array.of_list (List.map snd chosen) in
+    for p = 0 to len - 1 do
+      for i = 0 to c.k - 1 do
+        col.(i) <- Char.code (Bytes.get srcs.(i) p)
+      done;
+      let d = Matrix.apply inv col in
+      for j = 0 to c.k - 1 do
+        Bytes.set out.(j) p (Char.chr d.(j))
+      done
+    done;
+    out
+
+let decode ?length c shards =
+  let data = data_shards c shards in
+  let len = Bytes.length data.(0) in
+  let full = Bytes.create (c.k * len) in
+  Array.iteri (fun j s -> Bytes.blit s 0 full (j * len) len) data;
+  match length with
+  | None -> full
+  | Some l ->
+    if l < 0 || l > Bytes.length full then invalid_arg "Reed_solomon.decode: bad length";
+    Bytes.sub full 0 l
+
+let reconstruct c ~index shards =
+  if index < 0 || index >= c.n then invalid_arg "Reed_solomon.reconstruct: index";
+  match List.assoc_opt index shards with
+  | Some s -> Bytes.copy s  (* already have it *)
+  | None ->
+    let data = data_shards c shards in
+    if index < c.k then Bytes.copy data.(index)
+    else begin
+      let len = Bytes.length data.(0) in
+      let out = Bytes.make len '\000' in
+      for p = 0 to len - 1 do
+        let acc = ref 0 in
+        for j = 0 to c.k - 1 do
+          acc :=
+            Gf256.add !acc
+              (Gf256.mul (Matrix.get c.gen index j) (Char.code (Bytes.get data.(j) p)))
+        done;
+        Bytes.set out p (Char.chr !acc)
+      done;
+      out
+    end
+
+let repair_traffic_factor c = float_of_int c.k
+
+let storage_overhead c = float_of_int c.n /. float_of_int c.k

@@ -1,0 +1,43 @@
+(** Systematic maximum-distance-separable Reed–Solomon erasure codes.
+
+    An [(n, k)] code splits an object into [k] data shards and derives
+    [n - k] parity shards; any [k] of the [n] shards reconstruct the
+    object (the MDS property the paper assumes throughout). The
+    generator matrix is [I; C] with [C] Cauchy, so every k-row
+    submatrix is invertible by construction. Shards are byte strings;
+    the object is zero-padded to a multiple of [k]. *)
+
+type code
+
+val make : n:int -> k:int -> code
+(** [make ~n ~k] builds the code. Requires [0 < k <= n <= 256]. *)
+
+val n : code -> int
+val k : code -> int
+
+val shard_length : code -> data_length:int -> int
+(** Length every shard will have for an object of [data_length] bytes. *)
+
+val encode : code -> bytes -> bytes array
+(** [encode c data] returns the [n] shards; shards [0 .. k-1] are the
+    (padded) data split verbatim, the rest are parity. *)
+
+val decode : ?length:int -> code -> (int * bytes) list -> bytes
+(** [decode c shards] rebuilds the object from any [k] of the [(shard
+    index, shard)] pairs; extra pairs are ignored, [length] (default:
+    [k * shard length]) trims the padding. Raises [Invalid_argument] on
+    fewer than [k] shards, duplicate or out-of-range indices, or
+    mismatched shard lengths. *)
+
+val reconstruct : code -> index:int -> (int * bytes) list -> bytes
+(** [reconstruct c ~index shards] rebuilds the single lost shard
+    [index] from any [k] surviving shards — the repair operation whose
+    network traffic the S3 scheduler manages (reading [k] chunks to
+    rebuild one). *)
+
+val repair_traffic_factor : code -> float
+(** [k]: bytes read over the network per byte repaired, the paper's
+    "repairing x bytes generates kx bytes of traffic". *)
+
+val storage_overhead : code -> float
+(** [n/k], e.g. 1.5 for (9,6). *)

@@ -1,0 +1,37 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Table.render: row arity mismatch")
+    rows;
+  let aligns =
+    match align with
+    | None -> List.init ncols (fun _ -> Right)
+    | Some a ->
+      if List.length a <> ncols then
+        invalid_arg "Table.render: align arity mismatch"
+      else a
+  in
+  let widths = Array.make ncols 0 in
+  let note row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  note header;
+  List.iter note rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match List.nth aligns i with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (100. *. x)

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array List S3_net S3_storage S3_util Task

@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array S3_net Task

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: S3_net Task

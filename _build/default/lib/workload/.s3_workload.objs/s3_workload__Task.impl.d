@@ -1,0 +1,1 @@
+lib/workload/task.ml: Array Format Hashtbl String

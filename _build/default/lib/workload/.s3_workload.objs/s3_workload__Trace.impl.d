@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Generator List Printf S3_net S3_util String Task

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: S3_net S3_util Task

@@ -1,0 +1,26 @@
+module Topology = S3_net.Topology
+
+(* Server numbering: the paper's servers 1..9 map to indices 0..8, with
+   racks {1,2,3} -> {0,1,2} / {4,5,6} -> {3,4,5} / {7,8,9} -> {6,7,8}.
+   Chunk placement reconstructed from the example's narrative:
+   - file A: lost chunk repairs onto server 1; survivors A2 on server 2,
+     A3 on server 5, A4 on server 9.
+   - file B: repairs onto server 2; survivors B2 on server 1, B3 on
+     server 6, B4 on server 8 (B2's path shares server 1 with both A
+     flows, giving the 1.2 Gb/s congestion figure of the walkthrough).
+   - file C: repairs onto server 4; survivors C2 on server 5, C3 on
+     server 6, C4 on server 8 (candidate path congestions 0.6 / 0.76 /
+     higher, so Phase I picks C2 and C3 as in Table 2). *)
+let fig1 () =
+  let topo = Topology.two_tier ~racks:3 ~servers_per_rack:3 ~cst:2000. ~cta:3000. in
+  let task ~id ~volume ~deadline ~sources ~destination =
+    Task.v ~id ~kind:Task.Repair ~arrival:0. ~deadline ~volume ~k:2
+      ~sources:(Array.of_list sources) ~destination ()
+  in
+  let tasks =
+    [ task ~id:0 ~volume:6000. ~deadline:10. ~sources:[ 1; 4; 8 ] ~destination:0;
+      task ~id:1 ~volume:8000. ~deadline:10.5 ~sources:[ 0; 5; 7 ] ~destination:1;
+      task ~id:2 ~volume:8000. ~deadline:15. ~sources:[ 4; 5; 7 ] ~destination:3
+    ]
+  in
+  (topo, tasks)

@@ -1,0 +1,16 @@
+(** Canned scenarios from the paper, shared by the examples, the
+    benchmark harness and the tests. *)
+
+(** The illustrative example of Fig. 1 / Table 2: 3 racks x 3 servers,
+    CST = 2 Gb/s, CTA = 3 Gb/s; files A, B, C stored with a (4, 2)
+    code; at t = 0 one chunk of each is lost and must be repaired by
+    deadlines 10 s, 10.5 s and 15 s. The paper shows that shortest-path
+    + first-fit and EDF + congestion-aware selection both miss a
+    deadline, while LPST completes all three (finishing around
+    t = 9.76 s). *)
+
+val fig1 : unit -> S3_net.Topology.t * Task.t list
+(** Tasks are ordered A, B, C with ids 0, 1, 2. Volumes are in
+    megabits (6000 / 8000 / 8000) and capacities in Mb/s, matching the
+    paper's Gb figures scaled consistently. Chunk placement follows the
+    example's text (see the implementation for the mapping). *)

@@ -1,0 +1,59 @@
+type kind =
+  | Repair
+  | Rebalance
+  | Backup
+  | Generic
+
+type t = {
+  id : int;
+  kind : kind;
+  arrival : float;
+  deadline : float;
+  volume : float;
+  k : int;
+  sources : int array;
+  destination : int;
+}
+
+let kind_label = function
+  | Repair -> "repair"
+  | Rebalance -> "rebalance"
+  | Backup -> "backup"
+  | Generic -> "generic"
+
+let pp ppf t =
+  Format.fprintf ppf "task#%d[%s k=%d v=%.1fMb %s->%d s=%.2f d=%.2f]" t.id
+    (kind_label t.kind) t.k t.volume
+    (String.concat "," (Array.to_list (Array.map string_of_int t.sources)))
+    t.destination t.arrival t.deadline
+
+let v ~id ?(kind = Generic) ~arrival ~deadline ~volume ~k ~sources ~destination () =
+  if arrival < 0. then invalid_arg "Task.v: negative arrival";
+  if deadline <= arrival then invalid_arg "Task.v: deadline must follow arrival";
+  if volume <= 0. then invalid_arg "Task.v: volume must be positive";
+  if k <= 0 then invalid_arg "Task.v: k must be positive";
+  if Array.length sources < k then invalid_arg "Task.v: fewer candidate sources than k";
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      if s = destination then invalid_arg "Task.v: a source equals the destination";
+      if Hashtbl.mem seen s then invalid_arg "Task.v: duplicate source";
+      Hashtbl.replace seen s ())
+    sources;
+  { id; kind; arrival; deadline; volume; k; sources; destination }
+
+let total_volume t = float_of_int t.k *. t.volume
+
+let least_required_time ~full_capacity t =
+  if full_capacity <= 0. then invalid_arg "Task.least_required_time: capacity";
+  t.volume /. full_capacity
+
+let compare_arrival a b =
+  match compare a.arrival b.arrival with
+  | 0 -> compare a.id b.id
+  | c -> c
+
+let compare_deadline a b =
+  match compare a.deadline b.deadline with
+  | 0 -> compare a.id b.id
+  | c -> c

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Hashtbl List Option S3_core S3_net S3_workload

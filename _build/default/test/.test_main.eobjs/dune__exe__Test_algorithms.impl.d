@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Float Gen Helpers List Printf QCheck QCheck_alcotest S3_core S3_util S3_workload String Test

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Gen Helpers List QCheck QCheck_alcotest S3_core S3_net S3_util S3_workload Test

@@ -1,0 +1,1 @@
+test/test_gf256.ml: Alcotest List QCheck QCheck_alcotest S3_storage Test

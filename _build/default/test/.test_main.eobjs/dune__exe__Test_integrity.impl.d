@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Array Bytes Char Gen List Option QCheck QCheck_alcotest S3_net S3_storage S3_util Test

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array List QCheck QCheck_alcotest S3_storage S3_util Test

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Bytes Char List Option QCheck QCheck_alcotest S3_core S3_net S3_sim S3_storage S3_util S3_workload Test

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Gen List QCheck QCheck_alcotest S3_net S3_storage S3_util Test

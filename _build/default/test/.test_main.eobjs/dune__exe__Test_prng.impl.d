@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest S3_util Test

@@ -1,0 +1,1 @@
+test/test_properties.ml: Hashtbl List QCheck QCheck_alcotest S3_cloud S3_core S3_net S3_sim S3_storage S3_util S3_workload Test

@@ -1,0 +1,1 @@
+test/test_reed_solomon.ml: Alcotest Array Bytes Char Gen List Printf QCheck QCheck_alcotest S3_storage S3_util Test

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format Helpers List S3_core S3_net S3_sim S3_util S3_workload String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Helpers List Printf S3_cloud S3_core S3_net S3_sim S3_storage S3_util S3_workload

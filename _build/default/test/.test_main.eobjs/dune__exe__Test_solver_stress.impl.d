@@ -1,0 +1,1 @@
+test/test_solver_stress.ml: Alcotest Array Float Helpers List QCheck QCheck_alcotest S3_core S3_lp S3_util S3_workload Test

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Random S3_net

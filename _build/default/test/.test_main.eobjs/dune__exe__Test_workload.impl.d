@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List S3_net S3_storage S3_util S3_workload

@@ -1,0 +1,113 @@
+module Matrix = S3_storage.Matrix
+module Gf = S3_storage.Gf256
+module Prng = S3_util.Prng
+
+let tc = Alcotest.test_case
+
+let random_matrix g n =
+  Matrix.init ~rows:n ~cols:n (fun _ _ -> Prng.int g 256)
+
+let test_identity_neutral () =
+  let g = Prng.create 4 in
+  let a = random_matrix g 5 in
+  Alcotest.(check bool) "I*A = A" true (Matrix.equal (Matrix.mul (Matrix.identity 5) a) a);
+  Alcotest.(check bool) "A*I = A" true (Matrix.equal (Matrix.mul a (Matrix.identity 5)) a)
+
+let test_invert_roundtrip () =
+  let g = Prng.create 8 in
+  let found = ref 0 in
+  while !found < 10 do
+    let a = random_matrix g 4 in
+    match Matrix.invert a with
+    | None -> ()
+    | Some inv ->
+      incr found;
+      Alcotest.(check bool) "A * A^-1 = I" true
+        (Matrix.equal (Matrix.mul a inv) (Matrix.identity 4));
+      Alcotest.(check bool) "A^-1 * A = I" true
+        (Matrix.equal (Matrix.mul inv a) (Matrix.identity 4))
+  done
+
+let test_singular () =
+  let a = Matrix.create ~rows:3 ~cols:3 in
+  Alcotest.(check bool) "zero matrix singular" true (Matrix.invert a = None);
+  (* Two equal rows. *)
+  let b = Matrix.init ~rows:2 ~cols:2 (fun _ j -> j + 1) in
+  Alcotest.(check bool) "equal rows singular" true (Matrix.invert b = None)
+
+let test_apply () =
+  let a = Matrix.init ~rows:2 ~cols:2 (fun i j -> if i = j then 1 else 0) in
+  Alcotest.(check (array int)) "identity apply" [| 9; 17 |] (Matrix.apply a [| 9; 17 |]);
+  Alcotest.check_raises "length" (Invalid_argument "Matrix.apply: vector length") (fun () ->
+      ignore (Matrix.apply a [| 1 |]))
+
+let test_select_rows () =
+  let a = Matrix.init ~rows:4 ~cols:2 (fun i j -> (i * 2) + j) in
+  let s = Matrix.select_rows a [ 3; 1 ] in
+  Alcotest.(check int) "rows" 2 (Matrix.rows s);
+  Alcotest.(check int) "first row from 3" 6 (Matrix.get s 0 0);
+  Alcotest.(check int) "second row from 1" 2 (Matrix.get s 1 0)
+
+let test_cauchy_mds () =
+  (* Every square submatrix of a Cauchy matrix is invertible: sample
+     row/column subsets and verify. *)
+  let c = Matrix.cauchy ~rows:6 ~cols:6 in
+  let g = Prng.create 21 in
+  for _ = 1 to 25 do
+    let k = 1 + Prng.int g 5 in
+    let rows = S3_util.Prng.sample g k [ 0; 1; 2; 3; 4; 5 ] in
+    let cols = S3_util.Prng.sample g k [ 0; 1; 2; 3; 4; 5 ] in
+    let sub =
+      Matrix.init ~rows:k ~cols:k (fun i j ->
+          Matrix.get c (List.nth rows i) (List.nth cols j))
+    in
+    Alcotest.(check bool) "cauchy submatrix invertible" true (Matrix.invert sub <> None)
+  done
+
+let test_vandermonde () =
+  let v = Matrix.vandermonde ~rows:4 ~cols:3 in
+  Alcotest.(check int) "v(i,0) = 1" 1 (Matrix.get v 2 0);
+  Alcotest.(check int) "v(2,1) = 2" 2 (Matrix.get v 2 1);
+  Alcotest.(check int) "v(3,2) = 9 in gf" (Gf.mul 3 3) (Matrix.get v 3 2)
+
+let test_bounds () =
+  let a = Matrix.create ~rows:2 ~cols:2 in
+  Alcotest.check_raises "get" (Invalid_argument "Matrix.get: out of range") (fun () ->
+      ignore (Matrix.get a 2 0));
+  Alcotest.check_raises "set" (Invalid_argument "Matrix.set: out of range") (fun () ->
+      Matrix.set a 0 5 1);
+  Alcotest.check_raises "shape" (Invalid_argument "Matrix.mul: shape mismatch") (fun () ->
+      ignore (Matrix.mul a (Matrix.create ~rows:3 ~cols:3)))
+
+let qcheck =
+  let open QCheck in
+  [ Test.make ~name:"matrix multiplication is linear over vectors" ~count:100
+      (pair small_int small_int)
+      (fun (s1, s2) ->
+        let g = Prng.create ((s1 * 1000) + s2) in
+        let a = random_matrix g 3 in
+        let x = Array.init 3 (fun _ -> Prng.int g 256) in
+        let y = Array.init 3 (fun _ -> Prng.int g 256) in
+        let xy = Array.init 3 (fun i -> Gf.add x.(i) y.(i)) in
+        let ax = Matrix.apply a x and ay = Matrix.apply a y and axy = Matrix.apply a xy in
+        Array.for_all2 (fun s (u, v) -> s = Gf.add u v) axy
+          (Array.init 3 (fun i -> (ax.(i), ay.(i)))));
+    Test.make ~name:"mul associates with apply" ~count:100 small_int (fun seed ->
+        let g = Prng.create seed in
+        let a = random_matrix g 3 and b = random_matrix g 3 in
+        let x = Array.init 3 (fun _ -> Prng.int g 256) in
+        Matrix.apply (Matrix.mul a b) x = Matrix.apply a (Matrix.apply b x))
+  ]
+
+let tests =
+  ( "matrix",
+    [ tc "identity neutral" `Quick test_identity_neutral;
+      tc "invert roundtrip" `Quick test_invert_roundtrip;
+      tc "singular" `Quick test_singular;
+      tc "apply" `Quick test_apply;
+      tc "select rows" `Quick test_select_rows;
+      tc "cauchy MDS" `Quick test_cauchy_mds;
+      tc "vandermonde" `Quick test_vandermonde;
+      tc "bounds" `Quick test_bounds
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

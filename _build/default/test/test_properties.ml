@@ -1,0 +1,146 @@
+(* Cross-cutting property suites: whole-system invariants checked on
+   randomized workloads, topologies and foreground processes. *)
+
+module Engine = S3_sim.Engine
+module Foreground = S3_sim.Foreground
+module Metrics = S3_sim.Metrics
+module Registry = S3_core.Registry
+module Generator = S3_workload.Generator
+module Task = S3_workload.Task
+module T = S3_net.Topology
+module Prng = S3_util.Prng
+
+let random_topology g =
+  match Prng.int g 4 with
+  | 0 ->
+    T.two_tier
+      ~racks:(2 + Prng.int g 3)
+      ~servers_per_rack:(3 + Prng.int g 6)
+      ~cst:(100. +. Prng.float g 900.)
+      ~cta:(300. +. Prng.float g 2000.)
+  | 1 -> T.fat_tree ~k:4 ~cst:(100. +. Prng.float g 900.) ~cta:(300. +. Prng.float g 2000.)
+  | 2 ->
+    T.leaf_spine
+      ~leaves:(2 + Prng.int g 3)
+      ~spines:(1 + Prng.int g 3)
+      ~servers_per_leaf:(3 + Prng.int g 5)
+      ~cst:(100. +. Prng.float g 900.)
+      ~cta:(300. +. Prng.float g 2000.)
+  | _ ->
+    T.bcube ~ports:(2 + Prng.int g 3) ~levels:2
+      ~cst:(100. +. Prng.float g 900.)
+      ~cta:(300. +. Prng.float g 2000.)
+
+let random_workload g topo n =
+  let nk_choices = [ (4, 2); (6, 4); (9, 6) ] in
+  let code = List.nth nk_choices (Prng.int g 3) in
+  let n_servers = T.servers topo in
+  let code = if fst code + 1 > n_servers then (2, 1) else code in
+  Generator.generate g topo
+    { Generator.num_tasks = n;
+      arrival_rate = 0.05 +. Prng.float g 1.5;
+      chunk_size_mb = 4. +. Prng.float g 64.;
+      code_mix = [ (code, 1.) ];
+      deadline_factor = 2. +. Prng.float g 10.;
+      deadline_jitter = Prng.float g 0.6;
+      placement = S3_storage.Placement.Flat_uniform
+    }
+
+let run_one ~fg name seed =
+  let g = Prng.create seed in
+  let topo = random_topology g in
+  let tasks = random_workload g topo (5 + Prng.int g 25) in
+  let config =
+    { Engine.foreground =
+        (if fg then Foreground.uniform ~max_frac:(0.1 +. Prng.float g 0.5)
+         else Foreground.none);
+      seed = seed + 1
+    }
+  in
+  (topo, tasks, Engine.run ~config topo (Registry.make name) tasks)
+
+let qcheck =
+  let open QCheck in
+  let seed = int_range 0 1_000_000 in
+  let algorithms = [ "fifo"; "disfifo"; "edf"; "disedf"; "lstf"; "lpall"; "lpst" ] in
+  let alg_and_seed = pair (oneofl algorithms) seed in
+  [ Test.make ~name:"every task gets exactly one outcome" ~count:120 alg_and_seed
+      (fun (name, seed) ->
+        let _, tasks, run = run_one ~fg:false name seed in
+        List.length run.Metrics.outcomes = List.length tasks
+        && List.for_all2
+             (fun (t : Task.t) (o : Metrics.outcome) -> o.Metrics.task.Task.id = t.Task.id)
+             (List.sort (fun (a : Task.t) b -> compare a.Task.id b.Task.id) tasks)
+             run.Metrics.outcomes);
+    Test.make ~name:"completions always beat their deadline" ~count:120 alg_and_seed
+      (fun (name, seed) ->
+        let _, _, run = run_one ~fg:false name seed in
+        List.for_all
+          (fun (o : Metrics.outcome) ->
+            (not o.Metrics.completed)
+            || (o.Metrics.finish_time <= o.Metrics.task.Task.deadline +. 1e-6
+                && o.Metrics.finish_time >= o.Metrics.task.Task.arrival -. 1e-6))
+          run.Metrics.outcomes);
+    Test.make ~name:"failures strand positive volume, bounded by the task" ~count:120
+      alg_and_seed (fun (name, seed) ->
+        let _, _, run = run_one ~fg:false name seed in
+        List.for_all
+          (fun (o : Metrics.outcome) ->
+            o.Metrics.completed
+            || (o.Metrics.remaining > 0.
+                && o.Metrics.remaining <= Task.total_volume o.Metrics.task +. 1e-6))
+          run.Metrics.outcomes);
+    Test.make ~name:"no capacity violation on any topology (quiet)" ~count:120 alg_and_seed
+      (fun (name, seed) ->
+        let _, _, run = run_one ~fg:false name seed in
+        run.Metrics.clamp_events = 0);
+    Test.make ~name:"no capacity violation under churning foreground" ~count:120 alg_and_seed
+      (fun (name, seed) ->
+        let _, _, run = run_one ~fg:true name seed in
+        run.Metrics.clamp_events = 0);
+    Test.make ~name:"transferred volume never exceeds the workload's total" ~count:120
+      alg_and_seed (fun (name, seed) ->
+        let _, tasks, run = run_one ~fg:false name seed in
+        let total = List.fold_left (fun acc t -> acc +. Task.total_volume t) 0. tasks in
+        run.Metrics.transferred <= total +. 1e-3);
+    Test.make ~name:"LPST without foreground completes whatever it admits" ~count:80 seed
+      (fun seed ->
+        (* Every admitted task is guaranteed its LRB, so with static
+           capacity an admitted task never misses: a task that fails
+           must have been rejected from the start (nothing moved). *)
+        let g = Prng.create seed in
+        let topo = random_topology g in
+        let tasks = random_workload g topo (5 + Prng.int g 20) in
+        let moved = Hashtbl.create 64 in
+        let hook _now (view : S3_core.Problem.view) rates =
+          List.iter
+            (fun (f : S3_core.Problem.flow) ->
+              match List.assoc_opt f.S3_core.Problem.flow_id rates with
+              | Some r when r > 1e-9 ->
+                Hashtbl.replace moved f.S3_core.Problem.task.Task.id ()
+              | _ -> ())
+            view.S3_core.Problem.flows
+        in
+        let run = Engine.run ~on_event:hook topo (Registry.make "lpst") tasks in
+        List.for_all
+          (fun (o : Metrics.outcome) ->
+            o.Metrics.completed || not (Hashtbl.mem moved o.Metrics.task.Task.id))
+          run.Metrics.outcomes);
+    Test.make ~name:"utilization lies in [0, 1]" ~count:120 alg_and_seed (fun (name, seed) ->
+        let _, _, run = run_one ~fg:true name seed in
+        run.Metrics.utilization >= 0. && run.Metrics.utilization <= 1. +. 1e-9);
+    Test.make ~name:"cloud emulator preserves every engine invariant" ~count:60 seed
+      (fun seed ->
+        let g = Prng.create seed in
+        let topo = random_topology g in
+        let tasks = random_workload g topo (5 + Prng.int g 15) in
+        let run = S3_cloud.Emulator.run topo (Registry.make "lpst") tasks in
+        run.Metrics.clamp_events = 0
+        && List.for_all
+             (fun (o : Metrics.outcome) ->
+               (not o.Metrics.completed)
+               || o.Metrics.finish_time <= o.Metrics.task.Task.deadline +. 1e-6)
+             run.Metrics.outcomes)
+  ]
+
+let tests = ("properties", List.map QCheck_alcotest.to_alcotest qcheck)

@@ -408,6 +408,16 @@ let plan_computation ~m name =
   in
   fun () -> ignore (alg.S3_core.Algorithm.allocate view)
 
+(* Full engine run over the same burst scene: end-to-end planning cost
+   (plan_time / plan_calls in the metrics) for the bench-regression
+   harness, complementing the single-call kernel above. *)
+let plan_scene_run ~m name =
+  let topo = topo () in
+  let g = Prng.create (97 + m) in
+  let cfg = config ~tasks:m ~rate:1000. () in
+  let tasks = Generator.generate g topo cfg in
+  Engine.run topo (Registry.make name) tasks
+
 let fig5_sizes = [ 10; 25; 50; 100; 200; 400 ]
 
 let fig5_quick () =

@@ -5,6 +5,10 @@
                                            Bechamel micro-benchmark suite
      dune exec bench/main.exe -- fig3e     run selected experiments
      dune exec bench/main.exe -- micro     run only the Bechamel suite
+     dune exec bench/main.exe -- bench     regression mode: Bechamel
+                                           suite + fig5 scene engine
+                                           runs, machine-readable
+                                           results in BENCH_1.json
 
    See bench/experiments.ml for the per-figure regenerators and
    EXPERIMENTS.md for paper-vs-measured. *)
@@ -60,6 +64,8 @@ let micro_tests =
       (Staged.stage (fun () -> ignore (S3_storage.Reed_solomon.reconstruct rs ~index:2 six)))
   ]
 
+(* Runs the Bechamel suite, prints a table, and returns the sorted
+   (kernel name, ns/run) rows for the regression mode. *)
 let run_bechamel () =
   print_endline "\n=== Bechamel micro-benchmarks (OLS estimate, monotonic clock) ===";
   let tests = Test.make_grouped ~name:"s3" (plan_tests @ micro_tests) in
@@ -78,28 +84,93 @@ let run_bechamel () =
         (name, ns) :: acc)
       results []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> List.map (fun (name, ns) ->
-           let pretty =
-             if Float.is_nan ns then "n/a"
-             else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-             else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-             else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-             else Printf.sprintf "%.0f ns" ns
-           in
-           [ name; pretty ])
+  in
+  let pretty_rows =
+    List.map
+      (fun (name, ns) ->
+        let pretty =
+          if Float.is_nan ns then "n/a"
+          else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        [ name; pretty ])
+      rows
   in
   print_endline
     (S3_util.Table.render ~align:[ S3_util.Table.Left; S3_util.Table.Right ]
-       ~header:[ "benchmark"; "time/run" ] rows)
+       ~header:[ "benchmark"; "time/run" ] pretty_rows);
+  rows
+
+(* Regression mode: microbenchmark ns/run per kernel plus end-to-end
+   plan-time accounting from full engine runs on the fig5 burst scenes,
+   dumped as JSON so a driver can diff runs mechanically. *)
+let bench_json_file = "BENCH_1.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_bench () =
+  let micro = run_bechamel () in
+  print_endline "\n=== fig5 scene engine runs (plan-time accounting) ===";
+  let scenes =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun m ->
+            let r = Experiments.plan_scene_run ~m name in
+            Printf.printf "%s m=%d: plan_time=%.4fs plan_calls=%d\n%!" name m
+              r.S3_sim.Metrics.plan_time r.S3_sim.Metrics.plan_calls;
+            (name, m, r.S3_sim.Metrics.plan_time, r.S3_sim.Metrics.plan_calls))
+          [ 50; 100 ])
+      [ "fifo"; "disedf"; "lpst"; "lpall" ]
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"micro_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (if Float.is_nan ns then "null" else Printf.sprintf "%.2f" ns)
+           (if i < List.length micro - 1 then "," else "")))
+    micro;
+  Buffer.add_string b "  },\n  \"scenes\": [\n";
+  List.iteri
+    (fun i (name, m, plan_time, plan_calls) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"algorithm\": \"%s\", \"tasks\": %d, \"plan_time_s\": %.6f, \
+            \"plan_calls\": %d }%s\n"
+           (json_escape name) m plan_time plan_calls
+           (if i < List.length scenes - 1 then "," else "")))
+    scenes;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out bench_json_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" bench_json_file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [] ->
     List.iter Experiments.run_experiment Experiments.all_ids;
-    run_bechamel ()
-  | [ "micro" ] -> run_bechamel ()
+    ignore (run_bechamel ())
   | ids ->
     List.iter
-      (fun id -> if id = "micro" then run_bechamel () else Experiments.run_experiment id)
+      (fun id ->
+        match id with
+        | "micro" -> ignore (run_bechamel ())
+        | "bench" -> run_bench ()
+        | id -> Experiments.run_experiment id)
       ids

@@ -67,11 +67,17 @@ let water_fill (v : Problem.view) flows =
   @ List.map (fun ((f : Problem.flow), _) -> (f.Problem.flow_id, Hashtbl.find frozen f.Problem.flow_id)) networked
 
 let residual_after (v : Problem.view) rates e =
+  (* Rate table built once; keyed like [List.assoc_opt] (first binding
+     of a flow id wins), so duplicates behave identically. *)
+  let rate_of = Hashtbl.create (max 16 (List.length rates)) in
+  List.iter
+    (fun (fid, r) -> if not (Hashtbl.mem rate_of fid) then Hashtbl.add rate_of fid r)
+    rates;
   let used =
     List.fold_left
       (fun acc (f : Problem.flow) ->
-        match List.assoc_opt f.Problem.flow_id rates with
-        | Some r when List.mem e (Problem.route v f) -> acc +. r
+        match Hashtbl.find_opt rate_of f.Problem.flow_id with
+        | Some r when Array.exists (Int.equal e) (Problem.route_arr v f) -> acc +. r
         | _ -> acc)
       0. v.Problem.flows
   in
@@ -104,9 +110,9 @@ let priority_fill (v : Problem.view) groups =
     groups;
   !all
 
-let lp_allocate ?backend ?(lower = fun _ -> 0.) (v : Problem.view) flows =
-  let routes = List.map (fun f -> (f, Problem.route v f)) flows in
-  let local, networked = List.partition (fun (_, r) -> r = []) routes in
+let lp_allocate ?backend ?state ?(lower = fun _ -> 0.) (v : Problem.view) flows =
+  let routes = List.map (fun f -> (f, Problem.route_arr v f)) flows in
+  let local, networked = List.partition (fun (_, r) -> Array.length r = 0) routes in
   let local_rates =
     List.map
       (fun ((f : Problem.flow), _) -> (f.Problem.flow_id, max (lower f) (unbounded_rate f)))
@@ -116,27 +122,26 @@ let lp_allocate ?backend ?(lower = fun _ -> 0.) (v : Problem.view) flows =
   else begin
     let n = List.length networked in
     let flows_arr = Array.of_list networked in
-    (* Group variable indices per entity to form capacity rows. *)
-    let by_entity = Hashtbl.create 64 in
+    (* Group variable indices per entity to form capacity rows, one
+       slot per entity id (dense), in ascending-entity order. *)
+    let nent = Array.length (S3_net.Topology.entities v.Problem.topo) in
+    let cols = Array.make nent ([] : (int * float) list) in
     Array.iteri
-      (fun j (_, route) ->
-        List.iter
-          (fun e ->
-            let prev = Option.value ~default:[] (Hashtbl.find_opt by_entity e) in
-            Hashtbl.replace by_entity e ((j, 1.) :: prev))
-          route)
+      (fun j (_, route) -> Array.iter (fun e -> cols.(e) <- (j, 1.) :: cols.(e)) route)
       flows_arr;
-    let constraints =
-      Hashtbl.fold
-        (fun e coeffs acc ->
-          { Lp.coeffs; bound = max 0. (v.Problem.available e) } :: acc)
-        by_entity []
-    in
+    let constraints = ref [] in
+    for e = nent - 1 downto 0 do
+      match cols.(e) with
+      | [] -> ()
+      | coeffs ->
+        constraints := { Lp.coeffs; bound = max 0. (v.Problem.available e) } :: !constraints
+    done;
+    let constraints = !constraints in
     let lower_arr = Array.map (fun (f, _) -> max 0. (lower f)) flows_arr in
     let problem =
       Lp.make ~nvars:n ~objective:(Array.make n 1.) ~lower:lower_arr constraints
     in
-    match Lp.solve ?backend problem with
+    match Lp.solve ?backend ?state problem with
     | Error _ -> None
     | Ok { Lp.values; _ } ->
       let rates =

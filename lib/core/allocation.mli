@@ -25,12 +25,16 @@ val residual_after : Problem.view -> rates -> int -> float
 
 val lp_allocate :
   ?backend:S3_lp.Lp.backend ->
+  ?state:S3_lp.Lp.state ->
   ?lower:(Problem.flow -> float) ->
   Problem.view -> Problem.flow list -> rates option
 (** One LP: maximize the sum of rates subject to per-entity capacity
     and per-flow lower bounds ([lower] defaults to zero everywhere).
     [None] when the lower bounds are infeasible. Flows with empty
-    routes are excluded from the LP and given their lower bound. *)
+    routes are excluded from the LP and given their lower bound.
+    [state] is an {!S3_lp.Lp.state} reused across consecutive calls so
+    that identical or grown problems skip or warm-start the solver;
+    pass one state per algorithm instance. *)
 
 val max_feasible_scale : Problem.view -> (Problem.flow * float) list -> float
 (** [max_feasible_scale v demands] is the largest [theta in [0, 1]]

@@ -13,43 +13,51 @@ let admission_key admission =
   | Rtf_order -> fun v (_, flows) -> Rtf.task_rtf v flows
   | Arrival_order -> fun _ ((t : Task.t), _) -> t.Task.arrival
 
+(* Residual capacity indexed by entity id, seeded from the view. *)
+let make_residual (v : Problem.view) =
+  let nent = Array.length (S3_net.Topology.entities v.Problem.topo) in
+  Array.init nent (fun e -> v.Problem.available e)
+
 (* Greedy Phase II over a candidate list, consuming [residual]
-   capacity (entity id -> remaining Mb/s, lazily seeded from the
-   view). Returns the tasks that fit. *)
+   capacity in place. Returns the tasks that fit. *)
 let admit_into (v : Problem.view) residual candidates =
-  let avail e =
-    match Hashtbl.find_opt residual e with
-    | Some c -> c
-    | None ->
-      let c = v.Problem.available e in
-      Hashtbl.replace residual e c;
-      c
-  in
+  let nent = Array.length residual in
+  (* Per-task scratch, reset after each candidate: demand per entity
+     plus the list of entities this task touches. *)
+  let demand = Array.make nent 0. in
+  let seen = Array.make nent false in
   List.filter
     (fun (_, flows) ->
       let lrbs = List.map (fun f -> (f, Rtf.flow_lrb v f)) flows in
       if List.exists (fun (_, l) -> not (Float.is_finite l)) lrbs then false
       else begin
         (* Aggregate this task's demand per entity, then test fit. *)
-        let demand = Hashtbl.create 16 in
+        let touched = ref [] in
         List.iter
           (fun (f, l) ->
-            List.iter
+            Array.iter
               (fun e ->
-                Hashtbl.replace demand e
-                  (Option.value ~default:0. (Hashtbl.find_opt demand e) +. l))
-              (Problem.route v f))
+                if not seen.(e) then begin
+                  seen.(e) <- true;
+                  touched := e :: !touched
+                end;
+                demand.(e) <- demand.(e) +. l)
+              (Problem.route_arr v f))
           lrbs;
-        let fits = Hashtbl.fold (fun e d ok -> ok && d <= avail e +. 1e-9) demand true in
-        if fits then
-          Hashtbl.iter (fun e d -> Hashtbl.replace residual e (avail e -. d)) demand;
+        let fits = List.for_all (fun e -> demand.(e) <= residual.(e) +. 1e-9) !touched in
+        if fits then List.iter (fun e -> residual.(e) <- residual.(e) -. demand.(e)) !touched;
+        List.iter
+          (fun e ->
+            demand.(e) <- 0.;
+            seen.(e) <- false)
+          !touched;
         fits
       end)
     candidates
 
 let admit ?(admission = Rtf_order) (v : Problem.view) =
   let ordered = Sequencing.ordered_tasks v ~key:(admission_key admission) in
-  admit_into v (Hashtbl.create 64) ordered
+  admit_into v (make_residual v) ordered
 
 (* Re-triage a previously admitted set against (possibly reduced)
    capacity: keep tasks in urgency order while they fit. With static
@@ -57,9 +65,7 @@ let admit ?(admission = Rtf_order) (v : Problem.view) =
    this only evicts when foreground traffic stole bandwidth. *)
 let retriage ~admission (v : Problem.view) residual admitted_tasks =
   admit_into v residual
-    (Sequencing.ordered_tasks
-       { v with Problem.flows = List.concat_map snd admitted_tasks }
-       ~key:(admission_key admission))
+    (Sequencing.sort_pairs v ~key:(admission_key admission) admitted_tasks)
 
 let lpst ?(sources = Algorithm.Least_congested) ?backend ?(admission = Rtf_order)
     ?(bandwidth = Lp_max) ?(sticky = true) ?name () =
@@ -71,27 +77,36 @@ let lpst ?(sources = Algorithm.Least_congested) ?backend ?(admission = Rtf_order
      prevents the thrashing where a half-finished task loses its slot
      to a waiting one and both miss. *)
   let admitted = Hashtbl.create 256 in
+  (* Per-instance solver state: the Phase III LPs of consecutive events
+     share structure, so the workspace (and, when the flow set is
+     unchanged, the previous basis or solution) carries over. *)
+  let lp_state = S3_lp.Lp.create_state () in
   let allocate (v : Problem.view) =
     if not sticky then Hashtbl.reset admitted;
     let tasks = Problem.by_task v in
     let active = Hashtbl.create 64 in
     List.iter (fun ((t : Task.t), _) -> Hashtbl.replace active t.Task.id ()) tasks;
-    Hashtbl.iter
-      (fun id () -> if not (Hashtbl.mem active id) then Hashtbl.remove admitted id)
-      (Hashtbl.copy admitted);
+    let stale =
+      Hashtbl.fold
+        (fun id () acc -> if Hashtbl.mem active id then acc else id :: acc)
+        admitted []
+    in
+    List.iter (Hashtbl.remove admitted) stale;
     let held, candidates =
       List.partition (fun ((t : Task.t), _) -> Hashtbl.mem admitted t.Task.id) tasks
     in
-    let residual = Hashtbl.create 64 in
+    let residual = make_residual v in
     let kept = retriage ~admission v residual held in
+    let kept_ids = Hashtbl.create 64 in
+    List.iter (fun ((k : Task.t), _) -> Hashtbl.replace kept_ids k.Task.id ()) kept;
     List.iter
       (fun ((t : Task.t), _) ->
-        if not (List.exists (fun ((k : Task.t), _) -> k.Task.id = t.Task.id) kept) then
-          Hashtbl.remove admitted t.Task.id)
+        if not (Hashtbl.mem kept_ids t.Task.id) then Hashtbl.remove admitted t.Task.id)
       held;
-    let fresh = admit_into v residual (Sequencing.ordered_tasks
-      { v with Problem.flows = List.concat_map snd candidates }
-      ~key:(admission_key admission)) in
+    let fresh =
+      admit_into v residual
+        (Sequencing.sort_pairs v ~key:(admission_key admission) candidates)
+    in
     List.iter (fun ((t : Task.t), _) -> Hashtbl.replace admitted t.Task.id ()) fresh;
     let flows = List.concat_map snd (kept @ fresh) in
     match flows with
@@ -101,7 +116,7 @@ let lpst ?(sources = Algorithm.Least_congested) ?backend ?(admission = Rtf_order
       match bandwidth with
       | Lrb_only -> List.map (fun f -> (f.Problem.flow_id, lrb f)) flows
       | Lp_max -> (
-        match Allocation.lp_allocate ?backend ~lower:lrb v flows with
+        match Allocation.lp_allocate ?backend ~state:lp_state ~lower:lrb v flows with
         | Some rates -> rates
         | None ->
           (* Admission guaranteed LRB fits; reach here only on solver

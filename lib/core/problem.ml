@@ -15,12 +15,16 @@ type view = {
   available : int -> float;
 }
 
-let route v f = Topology.route v.topo ~src:f.source ~dst:f.task.Task.destination
+(* All planning-time routing goes through the topology's flat route
+   cache; [route_arr] is the allocation-free variant for hot loops. *)
+let route_arr v f = Topology.route_array v.topo ~src:f.source ~dst:f.task.Task.destination
+
+let route v f = Array.to_list (route_arr v f)
 
 let path_available v ~src ~dst =
-  match Topology.route v.topo ~src ~dst with
-  | [] -> infinity
-  | ids -> List.fold_left (fun acc id -> min acc (v.available id)) infinity ids
+  let ids = Topology.route_array v.topo ~src ~dst in
+  if Array.length ids = 0 then infinity
+  else Array.fold_left (fun acc id -> min acc (v.available id)) infinity ids
 
 let flow_path_available v f =
   path_available v ~src:f.source ~dst:f.task.Task.destination

@@ -31,6 +31,10 @@ type view = {
 val route : view -> flow -> int list
 (** Capacity entities this flow consumes. *)
 
+val route_arr : view -> flow -> int array
+(** Same as {!route}, as the topology's shared memoized array —
+    allocation-free; callers must not mutate it. *)
+
 val path_available : view -> src:int -> dst:int -> float
 (** Bottleneck available bandwidth between two servers: min of
     [available] along the route; [infinity] for an empty route. This is

@@ -1,8 +1,11 @@
 module Task = S3_workload.Task
 
-let ordered_tasks v ~key =
-  let tasks = Problem.by_task v in
-  let scored = List.map (fun tf -> (key v tf, tf)) tasks in
+(* Sort existing (task, flows) pairs by ascending key. The key sees the
+   view only for [now]/[available]/[topo] plus the pair's own flows, so
+   callers that already hold the grouping (lpst's sticky admission)
+   avoid rebuilding it through [Problem.by_task]. *)
+let sort_pairs v ~key pairs =
+  let scored = List.map (fun tf -> (key v tf, tf)) pairs in
   List.sort
     (fun (ka, (ta, _)) (kb, (tb, _)) ->
       match compare ka kb with
@@ -10,6 +13,8 @@ let ordered_tasks v ~key =
       | c -> c)
     scored
   |> List.map snd
+
+let ordered_tasks v ~key = sort_pairs v ~key (Problem.by_task v)
 
 let head_only v ~key =
   match ordered_tasks v ~key with

@@ -1,5 +1,14 @@
 (** Task-ordering helpers shared by the heuristic baselines. *)
 
+val sort_pairs :
+  Problem.view ->
+  key:(Problem.view -> Problem.Task.t * Problem.flow list -> float) ->
+  (Problem.Task.t * Problem.flow list) list ->
+  (Problem.Task.t * Problem.flow list) list
+(** Sort already-grouped (task, flows) pairs by ascending key (ties by
+    task id) — {!ordered_tasks} without the regrouping pass, for
+    callers that maintain their own task partition. *)
+
 val ordered_tasks :
   Problem.view ->
   key:(Problem.view -> Problem.Task.t * Problem.flow list -> float) ->

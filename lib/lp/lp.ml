@@ -27,6 +27,34 @@ type backend =
   | Exact
   | Approx of float
 
+(* Reusable solver state: the simplex workspace plus a snapshot of the
+   last successfully solved problem. The snapshot enables two reuse
+   levels on the exact path:
+   - identical problem (same structure, objective, bounds): the cached
+     solution is returned without touching the solver;
+   - same or grown structure (the old constraints are a coeff-wise
+     prefix of the new ones and variables were only appended): the old
+     optimal basis warm-starts phase 2, skipping phase 1.
+   Both checks are O(nonzeros), orders of magnitude below a solve, and
+   any mismatch falls back to a cold solve, so state can never change a
+   result — only how fast it is computed. *)
+type snapshot = {
+  p_nvars : int;
+  p_cons : constr array;
+  p_obj : float array;
+  p_lower : float array;
+  p_basis : int array option;
+  p_values : float array;
+  p_objective_value : float;
+}
+
+type state = {
+  ws : Simplex.workspace;
+  mutable prev : snapshot option;
+}
+
+let create_state () = { ws = Simplex.create_workspace (); prev = None }
+
 let make ~nvars ~objective ?lower constraints =
   if nvars < 0 then invalid_arg "Lp.make: negative nvars";
   if Array.length objective <> nvars then invalid_arg "Lp.make: objective length";
@@ -89,17 +117,103 @@ let finish p y =
   let values = Array.init p.nvars (fun j -> p.lower.(j) +. y.(j)) in
   { values; objective_value = objective_of p values }
 
-let solve ?(backend = Exact) p =
-  let rows, rhs = densify p in
+(* The sparse rhs after the lower-bound substitution x = lower + y:
+   each bound becomes b - row . lower (same accumulation order as
+   [densify], so the exact path is numerically unchanged). *)
+let shifted_rhs p cons =
+  Array.map
+    (fun { coeffs; bound } ->
+      let shift =
+        List.fold_left (fun acc (j, a) -> acc +. (a *. p.lower.(j))) 0. coeffs
+      in
+      bound -. shift)
+    cons
+
+let same_coeffs a b = a.coeffs = b.coeffs
+
+(* Cached-solution hit: the whole problem is unchanged. *)
+let snapshot_matches pv p cons =
+  pv.p_nvars = p.nvars
+  && pv.p_obj = p.objective
+  && pv.p_lower = p.lower
+  && Array.length pv.p_cons = Array.length cons
+  && (let ok = ref true in
+      Array.iteri
+        (fun i c ->
+          if !ok && not (same_coeffs pv.p_cons.(i) c && pv.p_cons.(i).bound = c.bound)
+          then ok := false)
+        cons;
+      !ok)
+
+(* Warm-basis hit: the old constraint rows are a coefficient-wise
+   prefix of the new ones and variables were only appended, so the old
+   basis columns keep their meaning once slack indices are remapped to
+   the new variable count. Bounds, lower bounds and objective are free
+   to change — the installed basis is feasibility-checked by the
+   solver. *)
+let warm_hint st p cons =
+  match st.prev with
+  | Some { p_nvars; p_cons; p_basis = Some basis; _ }
+    when p.nvars >= p_nvars && Array.length cons >= Array.length p_cons ->
+    let pm = Array.length p_cons in
+    let ok = ref true in
+    for i = 0 to pm - 1 do
+      if !ok && not (same_coeffs p_cons.(i) cons.(i)) then ok := false
+    done;
+    if not !ok then None
+    else begin
+      let n = p.nvars in
+      Some
+        (Array.init (Array.length cons) (fun i ->
+             if i >= pm then n + i
+             else begin
+               let c = basis.(i) in
+               if c < p_nvars then c else n + (c - p_nvars)
+             end))
+    end
+  | _ -> None
+
+let solve ?(backend = Exact) ?state p =
   let exact () =
-    match Simplex.maximize ~obj:p.objective ~rows ~rhs with
-    | Ok y -> Ok (finish p y)
-    | Error `Infeasible -> Error Infeasible
-    | Error `Unbounded -> Error Unbounded
+    let cons = Array.of_list p.constraints in
+    match state with
+    | Some { prev = Some pv; _ } when snapshot_matches pv p cons ->
+      Ok { values = Array.copy pv.p_values; objective_value = pv.p_objective_value }
+    | _ -> (
+      let sparse = Array.map (fun c -> c.coeffs) cons in
+      let rhs = shifted_rhs p cons in
+      let ws, warm =
+        match state with
+        | None -> (None, None)
+        | Some st -> (Some st.ws, warm_hint st p cons)
+      in
+      match Simplex.maximize_sparse ?ws ?warm ~obj:p.objective ~rows:sparse ~rhs () with
+      | Ok (y, basis) ->
+        let s = finish p y in
+        Option.iter
+          (fun st ->
+            st.prev <-
+              Some
+                { p_nvars = p.nvars;
+                  p_cons = cons;
+                  p_obj = Array.copy p.objective;
+                  p_lower = Array.copy p.lower;
+                  p_basis = basis;
+                  p_values = Array.copy s.values;
+                  p_objective_value = s.objective_value
+                })
+          state;
+        Ok s
+      | Error e ->
+        Option.iter (fun st -> st.prev <- None) state;
+        (match e with
+         | `Infeasible -> Error Infeasible
+         | `Unbounded -> Error Unbounded))
   in
   match backend with
   | Exact -> exact ()
   | Approx eps -> (
+    let rows, rhs = densify p in
     match Packing.maximize ~eps ~obj:p.objective ~rows ~rhs with
     | Ok y -> Ok (finish p y)
     | Error `Unbounded -> Error Unbounded

@@ -35,6 +35,20 @@ type backend =
                          parameter epsilon; falls back to [Exact] when the
                          problem is not a pure packing instance *)
 
+type state
+(** Reusable solver state for the exact backend: a tableau workspace
+    (no per-solve allocation of the working matrix) plus the last
+    solved problem's optimal basis and solution. When consecutive
+    solves repeat a problem the cached solution is returned directly;
+    when the constraint structure is unchanged or only grew (old rows a
+    coefficient-wise prefix of the new ones, variables appended), the
+    previous basis warm-starts phase 2. Any mismatch falls back to a
+    cold solve, so state affects speed, never results. Reuse one state
+    per logical problem stream (and per backend); do not share it
+    across concurrent solves. *)
+
+val create_state : unit -> state
+
 val make :
   nvars:int -> objective:float array -> ?lower:float array ->
   constr list -> problem
@@ -42,9 +56,11 @@ val make :
     to all zeros. Raises [Invalid_argument] on dimension mismatches,
     out-of-range variable indices, or negative lower bounds. *)
 
-val solve : ?backend:backend -> problem -> (solution, error) result
+val solve : ?backend:backend -> ?state:state -> problem -> (solution, error) result
 (** Solve the problem. The returned [values] satisfy every constraint
-    up to a small numerical tolerance and respect the lower bounds. *)
+    up to a small numerical tolerance and respect the lower bounds.
+    [state] enables workspace reuse, warm starts and solution caching
+    across consecutive solves (see {!state}). *)
 
 val feasible : ?tol:float -> problem -> float array -> bool
 (** [feasible p x] checks [x] against all constraints and lower bounds

@@ -23,7 +23,26 @@ type t = {
   entities : entity array;
   server_entity : int array;  (* server -> entity id of its NIC *)
   route : src:int -> dst:int -> int list;
+  route_cache : int array option array Lazy.t;
+      (* flat [src * nservers + dst] memo of routes as immutable int
+         arrays; lazy so topologies that never route pay nothing *)
+  rack_servers : int list array Lazy.t;  (* rack -> its servers, ascending *)
 }
+
+(* Shared constructor: wires the derived caches so every topology gets
+   flat route memoization and precomputed rack membership. *)
+let v ~name ~nservers ~nracks ~rack_of ~entities ~server_entity ~route =
+  let route_cache = lazy (Array.make (nservers * nservers) None) in
+  let rack_servers =
+    lazy
+      (let a = Array.make nracks [] in
+       for s = nservers - 1 downto 0 do
+         a.(rack_of s) <- s :: a.(rack_of s)
+       done;
+       a)
+  in
+  { name; nservers; nracks; rack_of; entities; server_entity; route; route_cache;
+    rack_servers }
 
 let name t = t.name
 let servers t = t.nservers
@@ -39,7 +58,7 @@ let rack_of t s =
 
 let servers_in_rack t r =
   if r < 0 || r >= t.nracks then invalid_arg "Topology.servers_in_rack: bad rack";
-  List.filter (fun s -> t.rack_of s = r) (List.init t.nservers Fun.id)
+  (Lazy.force t.rack_servers).(r)
 
 let entities t = t.entities
 
@@ -56,6 +75,18 @@ let route t ~src ~dst =
   check_server t src "route";
   check_server t dst "route";
   if src = dst then [] else t.route ~src ~dst
+
+let route_array t ~src ~dst =
+  check_server t src "route_array";
+  check_server t dst "route_array";
+  let cache = Lazy.force t.route_cache in
+  let idx = (src * t.nservers) + dst in
+  match cache.(idx) with
+  | Some r -> r
+  | None ->
+    let r = if src = dst then [||] else Array.of_list (t.route ~src ~dst) in
+    cache.(idx) <- Some r;
+    r
 
 let bottleneck t ~src ~dst =
   match route t ~src ~dst with
@@ -94,14 +125,9 @@ let two_tier ~racks ~servers_per_rack ~cst ~cta =
     if rs = rd then [ server_ids.(src); server_ids.(dst) ]
     else [ server_ids.(src); tor_ids.(rs); tor_ids.(rd); server_ids.(dst) ]
   in
-  { name = Printf.sprintf "two_tier(%dx%d)" racks servers_per_rack;
-    nservers;
-    nracks = racks;
-    rack_of;
-    entities;
-    server_entity = server_ids;
-    route
-  }
+  v
+    ~name:(Printf.sprintf "two_tier(%dx%d)" racks servers_per_rack)
+    ~nservers ~nracks:racks ~rack_of ~entities ~server_entity:server_ids ~route
 
 let fat_tree ~k ~cst ~cta =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
@@ -152,14 +178,10 @@ let fat_tree ~k ~cst ~cta =
       end
     end
   in
-  { name = Printf.sprintf "fat_tree(k=%d)" k;
-    nservers;
-    nracks = k;
-    rack_of = pod_of;
-    entities;
-    server_entity = Array.init nservers Fun.id;
-    route
-  }
+  v
+    ~name:(Printf.sprintf "fat_tree(k=%d)" k)
+    ~nservers ~nracks:k ~rack_of:pod_of ~entities
+    ~server_entity:(Array.init nservers Fun.id) ~route
 
 let leaf_spine ~leaves ~spines ~servers_per_leaf ~cst ~cta =
   if leaves <= 0 || spines <= 0 || servers_per_leaf <= 0 then
@@ -196,14 +218,10 @@ let leaf_spine ~leaves ~spines ~servers_per_leaf ~cst ~cta =
       [ src; leaf_base + ls; spine_base + spine; leaf_base + ld; dst ]
     end
   in
-  { name = Printf.sprintf "leaf_spine(%dx%d,%d spines)" leaves servers_per_leaf spines;
-    nservers;
-    nracks = leaves;
-    rack_of = leaf_of;
-    entities;
-    server_entity = Array.init nservers Fun.id;
-    route
-  }
+  v
+    ~name:(Printf.sprintf "leaf_spine(%dx%d,%d spines)" leaves servers_per_leaf spines)
+    ~nservers ~nracks:leaves ~rack_of:leaf_of ~entities
+    ~server_entity:(Array.init nservers Fun.id) ~route
 
 let bcube ~ports ~levels ~cst ~cta =
   if ports < 2 then invalid_arg "Topology.bcube: ports >= 2";
@@ -265,11 +283,10 @@ let bcube ~ports ~levels ~cst ~cta =
     in
     go src [] (levels - 1)
   in
-  { name = Printf.sprintf "bcube(n=%d,k=%d)" ports (levels - 1);
-    nservers;
-    nracks = switches_per_level;
-    rack_of = (fun s -> s / n);
-    entities;
-    server_entity = Array.init nservers Fun.id;
-    route
-  }
+  v
+    ~name:(Printf.sprintf "bcube(n=%d,k=%d)" ports (levels - 1))
+    ~nservers ~nracks:switches_per_level
+    ~rack_of:(fun s -> s / n)
+    ~entities
+    ~server_entity:(Array.init nservers Fun.id)
+    ~route

@@ -89,7 +89,14 @@ val route : t -> src:int -> dst:int -> int list
 (** Capacity entities consumed by one [src -> dst] flow, endpoints
     included. [route ~src ~dst:src] is the empty list (a local copy
     touches no shared budget). Raises [Invalid_argument] on bad server
-    indices. *)
+    indices. Always computed directly from the topology's routing
+    function (the uncached oracle for {!route_array}). *)
+
+val route_array : t -> src:int -> dst:int -> int array
+(** Same entities as {!route}, as an immutable int array memoized in a
+    flat [src * servers + dst] table — the planning hot path. The
+    returned array is shared by all callers and must not be mutated.
+    Raises [Invalid_argument] on bad server indices. *)
 
 val bottleneck : t -> src:int -> dst:int -> float
 (** Minimum raw capacity along [route src dst]; [infinity] for the

@@ -29,6 +29,7 @@ let ideal_data_plane = { control_latency = (fun () -> 0.); shape_rate = (fun ~fl
 type live_flow = {
   flow_id : int;
   source : int;
+  route : int array;  (* capacity entities consumed; fixed at spawn *)
   mutable remaining : float;
   mutable rate : float;
 }
@@ -63,15 +64,11 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
   let plan_time = ref 0. and plan_calls = ref 0 in
   let frozen_until = ref 0. in  (* transfers paused until this time *)
   let events = ref 0 and clamp_events = ref 0 in
-  let route_cache = Hashtbl.create 256 in
-  let route ~src ~dst =
-    match Hashtbl.find_opt route_cache (src, dst) with
-    | Some r -> r
-    | None ->
-      let r = Topology.route topo ~src ~dst in
-      Hashtbl.replace route_cache (src, dst) r;
-      r
-  in
+  (* Incremental per-entity accounting, rebuilt once per recompute and
+     maintained through clamping: usage.(e) = sum of rates of live
+     flows whose route crosses e; flows_of.(e) = those flows. *)
+  let usage = Array.make nent 0. in
+  let flows_of = Array.make nent [] in
   let live_flows lt =
     Array.to_list lt.lflows |> List.filter (fun f -> f.remaining > 0.)
   in
@@ -92,26 +89,38 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
     in
     { Problem.now = !now; topo; flows; available = Foreground.available fg }
   in
+  (* One pass over the live flows refreshes the usage/incidence
+     tables; every later rate change goes through [scale_flow_rate] so
+     the accounting stays exact without rebuilding. *)
+  let rebuild_usage () =
+    Array.fill usage 0 nent 0.;
+    Array.fill flows_of 0 nent [];
+    List.iter
+      (fun lt ->
+        if not lt.resolved then
+          Array.iter
+            (fun f ->
+              if f.rate > 0. && f.remaining > 0. then
+                Array.iter
+                  (fun e ->
+                    usage.(e) <- usage.(e) +. f.rate;
+                    flows_of.(e) <- f :: flows_of.(e))
+                  f.route)
+            lt.lflows)
+      !active
+  in
+  let set_flow_rate f r =
+    if r <> f.rate then begin
+      let d = r -. f.rate in
+      f.rate <- r;
+      Array.iter (fun e -> usage.(e) <- usage.(e) +. d) f.route
+    end
+  in
   (* Scale any over-committed entity's flows down proportionally; a
      correct algorithm never triggers this. *)
   let clamp_rates () =
     let clamped = ref false in
     let pass () =
-      let usage = Array.make nent 0. in
-      let flows_of = Array.make nent [] in
-      List.iter
-        (fun lt ->
-          if not lt.resolved then
-            Array.iter
-              (fun f ->
-                if f.rate > 0. && f.remaining > 0. then
-                  List.iter
-                    (fun e ->
-                      usage.(e) <- usage.(e) +. f.rate;
-                      flows_of.(e) <- f :: flows_of.(e))
-                    (route ~src:f.source ~dst:lt.task.Task.destination))
-              lt.lflows)
-        !active;
       let violated = ref false in
       for e = 0 to nent - 1 do
         let avail = Foreground.available fg e in
@@ -122,7 +131,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
               m "t=%.3f clamping entity %d: allocated %.3f > available %.3f" !now e usage.(e)
                 avail);
           let scale = max 0. (avail /. usage.(e)) in
-          List.iter (fun f -> f.rate <- f.rate *. scale) flows_of.(e)
+          List.iter
+            (fun f ->
+              if f.rate > 0. && f.remaining > 0. then set_flow_rate f (f.rate *. scale))
+            flows_of.(e)
         end
       done;
       !violated
@@ -145,6 +157,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
           (fun f -> f.rate <- Option.value ~default:0. (Hashtbl.find_opt tbl f.flow_id))
           lt.lflows)
       !active;
+    rebuild_usage ();
     clamp_rates ();
     (* Data-plane distortion: applied after clamping and only ever
        downward, so feasibility is preserved. *)
@@ -206,7 +219,12 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
         (fun source ->
           let flow_id = !next_flow_id in
           incr next_flow_id;
-          { flow_id; source; remaining = t.Task.volume; rate = 0. })
+          { flow_id;
+            source;
+            route = Topology.route_array topo ~src:source ~dst:t.Task.destination;
+            remaining = t.Task.volume;
+            rate = 0.
+          })
         sources
     in
     Log.debug (fun m ->
@@ -231,9 +249,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
                   let moved = min f.remaining (f.rate *. dt) in
                   f.remaining <- f.remaining -. moved;
                   moved_total := !moved_total +. moved;
-                  List.iter
-                    (fun e -> entity_bits.(e) <- entity_bits.(e) +. moved)
-                    (route ~src:f.source ~dst:lt.task.Task.destination)
+                  Array.iter (fun e -> entity_bits.(e) <- entity_bits.(e) +. moved) f.route
                 end)
               lt.lflows)
         !active

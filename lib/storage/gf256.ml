@@ -26,6 +26,21 @@ let sub = add
 
 let mul a b = if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
 
+(* Per-coefficient multiplication rows, built on first use and shared:
+   row [a] maps x to a*x, turning the log/exp lookup pair in hot
+   Reed–Solomon loops into a single array read. *)
+let mul_rows : int array array = Array.make field [||]
+
+let mul_table a =
+  check a;
+  let row = mul_rows.(a) in
+  if Array.length row = field then row
+  else begin
+    let row = Array.init field (fun x -> mul a x) in
+    mul_rows.(a) <- row;
+    row
+  end
+
 let inv a =
   if a = 0 then raise Division_by_zero;
   exp_table.(255 - log_table.(a))

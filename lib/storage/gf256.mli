@@ -18,3 +18,9 @@ val pow : int -> int -> int
 
 val check : int -> unit
 (** Raises [Invalid_argument] unless the value is in [0, 255]. *)
+
+val mul_table : int -> int array
+(** [mul_table a] is the 256-entry table mapping [x] to [mul a x],
+    memoized per coefficient and shared by all callers — callers must
+    not mutate it. One table read replaces the log/exp lookup pair in
+    byte-wise inner loops. *)

@@ -2,6 +2,10 @@ type code = {
   n : int;
   k : int;
   gen : Matrix.t;  (* n x k; rows 0..k-1 are the identity *)
+  parity_tables : int array array array Lazy.t;
+      (* (i - k) -> j -> mult table of gen coefficient (i, j); the
+         per-byte encode/reconstruct loops read these instead of doing
+         field multiplications *)
 }
 
 let make ~n ~k =
@@ -15,7 +19,24 @@ let make ~n ~k =
         if i < k then if i = j then 1 else 0
         else Gf256.inv (Gf256.add i j))
   in
-  { n; k; gen }
+  let parity_tables =
+    lazy
+      (Array.init (n - k) (fun pi ->
+           Array.init k (fun j -> Gf256.mul_table (Matrix.get gen (k + pi) j))))
+  in
+  { n; k; gen; parity_tables }
+
+(* dst.(p) <- dst.(p) xor tab.(src.(p)) for every byte position: the
+   shared inner loop of encode, data recovery and reconstruct. Bounds
+   are established once by the callers (all shards have length [len]),
+   so the loop uses unsafe accessors. *)
+let xor_mul_into ~tab ~src ~dst ~len =
+  for p = 0 to len - 1 do
+    Bytes.unsafe_set dst p
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst p)
+         lxor Array.unsafe_get tab (Char.code (Bytes.unsafe_get src p))))
+  done
 
 let n c = c.n
 let k c = c.k
@@ -25,25 +46,21 @@ let shard_length c ~data_length =
   (data_length + c.k - 1) / c.k
 
 let encode c data =
-  let len = shard_length c ~data_length:(Bytes.length data) in
-  let len = max len 1 in
+  let dlen = Bytes.length data in
+  let len = max (shard_length c ~data_length:dlen) 1 in
   let shards = Array.init c.n (fun _ -> Bytes.make len '\000') in
   (* Data shards: verbatim split with zero padding. *)
   for j = 0 to c.k - 1 do
-    for p = 0 to len - 1 do
-      let src = (j * len) + p in
-      if src < Bytes.length data then Bytes.set shards.(j) p (Bytes.get data src)
-    done
+    let src = j * len in
+    if src < dlen then Bytes.blit data src shards.(j) 0 (min len (dlen - src))
   done;
-  (* Parity shards: per byte position, multiply the data column by the
-     parity rows of the generator. *)
+  (* Parity shards: XOR each data shard, scaled through its coefficient
+     table, into the parity shard — one table read per byte. *)
+  let ptabs = Lazy.force c.parity_tables in
   for i = c.k to c.n - 1 do
-    for p = 0 to len - 1 do
-      let acc = ref 0 in
-      for j = 0 to c.k - 1 do
-        acc := Gf256.add !acc (Gf256.mul (Matrix.get c.gen i j) (Char.code (Bytes.get shards.(j) p)))
-      done;
-      Bytes.set shards.(i) p (Char.chr !acc)
+    let tabs = ptabs.(i - c.k) in
+    for j = 0 to c.k - 1 do
+      xor_mul_into ~tab:tabs.(j) ~src:shards.(j) ~dst:shards.(i) ~len
     done
   done;
   shards
@@ -72,15 +89,12 @@ let data_shards c shards =
   | None -> assert false (* Cauchy construction: every k-subset is invertible *)
   | Some inv ->
     let out = Array.init c.k (fun _ -> Bytes.make len '\000') in
-    let col = Array.make c.k 0 in
     let srcs = Array.of_list (List.map snd chosen) in
-    for p = 0 to len - 1 do
+    for j = 0 to c.k - 1 do
       for i = 0 to c.k - 1 do
-        col.(i) <- Char.code (Bytes.get srcs.(i) p)
-      done;
-      let d = Matrix.apply inv col in
-      for j = 0 to c.k - 1 do
-        Bytes.set out.(j) p (Char.chr d.(j))
+        let coeff = Matrix.get inv j i in
+        if coeff <> 0 then
+          xor_mul_into ~tab:(Gf256.mul_table coeff) ~src:srcs.(i) ~dst:out.(j) ~len
       done
     done;
     out
@@ -106,14 +120,9 @@ let reconstruct c ~index shards =
     else begin
       let len = Bytes.length data.(0) in
       let out = Bytes.make len '\000' in
-      for p = 0 to len - 1 do
-        let acc = ref 0 in
-        for j = 0 to c.k - 1 do
-          acc :=
-            Gf256.add !acc
-              (Gf256.mul (Matrix.get c.gen index j) (Char.code (Bytes.get data.(j) p)))
-        done;
-        Bytes.set out p (Char.chr !acc)
+      let tabs = (Lazy.force c.parity_tables).(index - c.k) in
+      for j = 0 to c.k - 1 do
+        xor_mul_into ~tab:tabs.(j) ~src:data.(j) ~dst:out ~len
       done;
       out
     end

@@ -5,6 +5,7 @@ let () =
       Test_table.tests;
       Test_lp.tests;
       Test_solver_stress.tests;
+      Test_planning_core.tests;
       Test_gf256.tests;
       Test_matrix.tests;
       Test_reed_solomon.tests;

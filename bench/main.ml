@@ -161,7 +161,7 @@ let run_bench () =
   Printf.printf "\nwrote %s\n" bench_json_file
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   match args with
   | [] ->
     List.iter Experiments.run_experiment Experiments.all_ids;

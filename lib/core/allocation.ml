@@ -45,6 +45,9 @@ let water_fill (v : Problem.view) flows =
           if n > 0 then Hashtbl.replace remaining e (cap -. (!delta *. float_of_int n)))
         remaining;
       (* Freeze flows crossing a now-saturated entity. *)
+      (* lint: allow partial-stdlib — [remaining] is seeded with every
+         entity on any flow's route before the loop; [saturated] is only
+         applied to entities drawn from those same routes *)
       let saturated e = Hashtbl.find remaining e <= 1e-9 in
       let now_frozen, still =
         List.partition (fun (_, r) -> List.exists saturated r) !unfrozen
@@ -64,6 +67,9 @@ let water_fill (v : Problem.view) flows =
     end
   done;
   List.map (fun ((f : Problem.flow), _) -> (f.Problem.flow_id, unbounded_rate f)) local
+  (* lint: allow partial-stdlib — the water-filling loop above only ends
+     once [unfrozen] is empty, and every networked flow leaves [unfrozen]
+     by being written into [frozen] first *)
   @ List.map (fun ((f : Problem.flow), _) -> (f.Problem.flow_id, Hashtbl.find frozen f.Problem.flow_id)) networked
 
 let residual_after (v : Problem.view) rates e =

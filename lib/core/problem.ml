@@ -37,8 +37,9 @@ let by_task v =
       let id = f.task.Task.id in
       match Hashtbl.find_opt tbl id with
       | None ->
-        order := (f.task, ref [ f ]) :: !order;
-        Hashtbl.replace tbl id (List.hd !order |> snd)
+        let cell = ref [ f ] in
+        order := (f.task, cell) :: !order;
+        Hashtbl.replace tbl id cell
       | Some cell -> cell := f :: !cell)
     v.flows;
   List.rev_map (fun (t, cell) -> (t, List.rev !cell)) !order

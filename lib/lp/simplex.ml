@@ -336,6 +336,9 @@ let maximize ~obj ~rows ~rhs =
       (fun r ->
         let acc = ref [] in
         for j = n - 1 downto 0 do
+          (* lint: allow float-eq — structural sparsity test: only exact
+             zeros may be dropped from the row; an epsilon here would
+             silently delete small constraint coefficients *)
           if r.(j) <> 0. then acc := (j, r.(j)) :: !acc
         done;
         !acc)

@@ -364,6 +364,9 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
   let outcomes_list =
     Array.to_list pending
     |> List.sort (fun (a : Task.t) b -> compare a.Task.id b.Task.id)
+    (* lint: allow partial-stdlib — the main loop runs until every
+       pending task has been recorded: each task ends in exactly one of
+       resolve/expire/fail, and all three write [outcomes] *)
     |> List.map (fun (t : Task.t) -> Hashtbl.find outcomes t.Task.id)
   in
   { Metrics.algorithm = alg.Algorithm.name;

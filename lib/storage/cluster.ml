@@ -114,6 +114,8 @@ let repair_destination t g id =
   let candidates = List.filter (fun s -> not (holds s)) (alive_servers t) in
   match candidates with
   | [] -> None
+  (* lint: allow partial-stdlib — Prng.int g n returns a value in
+     [0, n); the index is strictly below List.length cs by contract *)
   | cs -> Some (List.nth cs (Prng.int g (List.length cs)))
 
 let place_chunk t id ~chunk ~server =

@@ -37,6 +37,10 @@ let xor_mul_into ~tab ~src ~dst ~len =
          (Char.code (Bytes.unsafe_get dst p)
          lxor Array.unsafe_get tab (Char.code (Bytes.unsafe_get src p))))
   done
+[@@lint.allow "unsafe-indexing"
+    "bounds: every caller checks (check_shards / Bytes.make len) that src and \
+     dst both have length >= len before entering, p < len by the loop header, \
+     and tab is a 256-entry Gf256.mul_table indexed by a byte"]
 
 let n c = c.n
 let k c = c.k

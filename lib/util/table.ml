@@ -9,11 +9,11 @@ let render ?align ~header rows =
     rows;
   let aligns =
     match align with
-    | None -> List.init ncols (fun _ -> Right)
+    | None -> Array.make ncols Right
     | Some a ->
       if List.length a <> ncols then
         invalid_arg "Table.render: align arity mismatch"
-      else a
+      else Array.of_list a
   in
   let widths = Array.make ncols 0 in
   let note row =
@@ -24,7 +24,7 @@ let render ?align ~header rows =
   let pad i cell =
     let w = widths.(i) in
     let n = w - String.length cell in
-    match List.nth aligns i with
+    match aligns.(i) with
     | Left -> cell ^ String.make n ' '
     | Right -> String.make n ' ' ^ cell
   in

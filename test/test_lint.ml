@@ -1,0 +1,217 @@
+(* The s3lint rule engine over in-memory fixture sources: one positive
+   (finding fires) and one suppressed-negative (a justified annotation
+   silences it) case per rule, plus the suppression-hygiene rules.
+   Running the engine as a library keeps these fast and hermetic — no
+   shelling out to the driver. *)
+
+module Rules = S3lint.Rules
+
+let tc = Alcotest.test_case
+
+let lint ?(kind = Rules.Lib) ?(file = "lib/core/fixture.ml") source =
+  Rules.lint_source ~kind ~file source
+
+let rules_of findings = List.map (fun (f : Rules.finding) -> f.Rules.rule) findings
+
+let check_rules msg expected findings =
+  Alcotest.(check (list string)) msg expected (rules_of findings)
+
+(* --- float-eq ----------------------------------------------------- *)
+
+let test_float_eq_fires () =
+  check_rules "literal operand" [ "float-eq" ] (lint "let f x = x = 1.0");
+  check_rules "both ways" [ "float-eq" ] (lint "let f x = 0. <> x");
+  check_rules "annotated operand" [ "float-eq" ] (lint "let f (x : float) y = (x : float) = y");
+  check_rules "arith evidence" [ "float-eq" ] (lint "let f a b c = (a +. b) = c");
+  check_rules "compare" [ "float-eq" ] (lint "let f x = compare x 1.5 = 0");
+  check_rules "physical eq" [ "float-eq" ] (lint "let f x = x == 0.5");
+  check_rules "nan" [ "float-eq" ] (lint "let f x = x = nan")
+
+let test_float_eq_quiet () =
+  check_rules "int compare untouched" [] (lint "let f x = x = 1");
+  check_rules "record literal untouched" [] (lint "let f () = { Foo.rate = 0. }");
+  check_rules "ordering untouched" [] (lint "let f x = x >= 0.5");
+  check_rules "infinity sentinel ok" [] (lint "let f x = x = infinity")
+
+let test_float_eq_suppressed () =
+  check_rules "comment same line" []
+    (lint "let f x = x = 1.0 (* lint: allow float-eq — exact sentinel round-trip *)");
+  check_rules "comment line above" []
+    (lint
+       "let f x =\n\
+        \  (* lint: allow float-eq — exact sentinel round-trip *)\n\
+        \  x = 1.0");
+  check_rules "attribute on binding" []
+    (lint "let f x = x = 1.0 [@@lint.allow \"float-eq\" \"exact sentinel round-trip\"]");
+  check_rules "file-wide attribute" []
+    (lint "[@@@lint.allow \"float-eq\" \"fixture exercises exact comparisons\"]\nlet f x = x = 1.0")
+
+(* --- unsafe-indexing ---------------------------------------------- *)
+
+let test_unsafe_fires () =
+  check_rules "allowlisted module still needs justification" [ "unsafe-indexing" ]
+    (lint ~file:"lib/storage/reed_solomon.ml" "let f a i = Array.unsafe_get a i");
+  check_rules "Bytes too" [ "unsafe-indexing" ]
+    (lint ~file:"lib/lp/simplex.ml" "let f b i = Bytes.unsafe_get b i")
+
+let test_unsafe_outside_allowlist () =
+  (* Outside the hot-path set the finding is non-suppressible: even a
+     justified annotation must not silence it. *)
+  let src =
+    "(* lint: allow unsafe-indexing — trust me, it is fine *)\nlet f a i = Array.unsafe_get a i"
+  in
+  match lint ~file:"lib/core/lpst.ml" src with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "unsafe-indexing" f.Rules.rule;
+    Alcotest.(check bool) "non-suppressible" false f.Rules.suppressible
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_unsafe_suppressed () =
+  check_rules "justified comment in hot module" []
+    (lint ~file:"lib/storage/gf256.ml"
+       "let f a i =\n\
+        \  (* lint: allow unsafe-indexing — i < Array.length a checked by caller *)\n\
+        \  Array.unsafe_get a i");
+  check_rules "justified attribute on the binding" []
+    (lint ~file:"lib/sim/engine.ml"
+       "let f a i = Array.unsafe_get a i\n\
+        [@@lint.allow \"unsafe-indexing\" \"i bounded by construction in recompute\"]")
+
+(* --- catch-all-exn ------------------------------------------------ *)
+
+let test_catch_all_fires () =
+  check_rules "wildcard handler" [ "catch-all-exn" ]
+    (lint "let f g = try g () with _ -> 0");
+  check_rules "bound-and-dropped handler" [ "catch-all-exn" ]
+    (lint "let f g = try g () with e -> ()");
+  check_rules "match exception arm" [ "catch-all-exn" ]
+    (lint "let f g = match g () with x -> x | exception _ -> 0")
+
+let test_catch_all_quiet () =
+  check_rules "specific exception ok" []
+    (lint "let f g = try g () with Not_found -> 0");
+  check_rules "reraising handler ok" []
+    (lint "let f g = try g () with e -> raise e")
+
+let test_catch_all_suppressed () =
+  check_rules "justified comment" []
+    (lint
+       "let f g =\n\
+        \  (* lint: allow catch-all-exn — best-effort cleanup, error reported upstream *)\n\
+        \  try g () with _ -> 0")
+
+(* --- no-print-in-lib ---------------------------------------------- *)
+
+let test_print_fires () =
+  check_rules "print_endline in lib" [ "no-print-in-lib" ]
+    (lint "let f () = print_endline \"hi\"");
+  check_rules "Printf.printf in lib" [ "no-print-in-lib" ]
+    (lint "let f x = Printf.printf \"%d\" x")
+
+let test_print_scoping () =
+  check_rules "bench may print" []
+    (lint ~kind:Rules.Bench ~file:"bench/main.ml" "let f () = print_endline \"hi\"");
+  check_rules "report.ml is the output layer" []
+    (lint ~file:"lib/sim/report.ml" "let f () = print_endline \"hi\"");
+  check_rules "sprintf is pure, untouched" []
+    (lint "let f x = Printf.sprintf \"%d\" x")
+
+let test_print_suppressed () =
+  check_rules "justified comment" []
+    (lint
+       "let f () = print_endline \"hi\" (* lint: allow no-print-in-lib — debug hook behind env var *)")
+
+(* --- partial-stdlib ----------------------------------------------- *)
+
+let test_partial_fires () =
+  check_rules "List.hd" [ "partial-stdlib" ] (lint "let f l = List.hd l");
+  check_rules "Hashtbl.find" [ "partial-stdlib" ] (lint "let f h k = Hashtbl.find h k");
+  check_rules "Option.get" [ "partial-stdlib" ] (lint "let f o = Option.get o")
+
+let test_partial_scoping () =
+  check_rules "tests are exempt" []
+    (lint ~kind:Rules.Test ~file:"test/test_x.ml" "let f l = List.hd l");
+  check_rules "find_opt untouched" [] (lint "let f h k = Hashtbl.find_opt h k")
+
+let test_partial_suppressed () =
+  check_rules "justified comment" []
+    (lint
+       "let f l =\n\
+        \  (* lint: allow partial-stdlib — l is non-empty: guarded by the caller's match *)\n\
+        \  List.hd l")
+
+(* --- mli-required ------------------------------------------------- *)
+
+let test_mli_required () =
+  let exists = function "lib/core/lpst.mli" -> true | _ -> false in
+  check_rules "covered module ok" [] (Rules.missing_mlis ~exists [ "lib/core/lpst.ml" ]);
+  check_rules "uncovered module flagged" [ "mli-required" ]
+    (Rules.missing_mlis ~exists [ "lib/core/rogue.ml" ]);
+  check_rules "bin is out of scope" [] (Rules.missing_mlis ~exists [ "bin/s3sim.ml" ])
+
+(* --- suppression hygiene ------------------------------------------ *)
+
+let test_suppression_needs_justification () =
+  (* An empty justification suppresses nothing and is itself flagged. *)
+  check_rules "finding survives, annotation flagged" [ "suppression"; "float-eq" ]
+    (lint "let f x = x = 1.0 (* lint: allow float-eq *)")
+
+let test_suppression_unknown_rule () =
+  check_rules "unknown rule flagged" [ "suppression" ]
+    (lint "let f x = x + 1 (* lint: allow no-such-rule — misremembered the name *)")
+
+let test_suppression_scope_is_tight () =
+  (* Two lines below the comment is out of range: the finding stays. *)
+  check_rules "comment does not leak downward" [ "float-eq" ]
+    (lint
+       "(* lint: allow float-eq — only covers the next line *)\n\
+        let unrelated = 1\n\
+        let f x = x = 1.0")
+
+let test_suppression_in_string_is_inert () =
+  (* The comment scanner is lexically aware: an allowance spelled
+     inside a string literal (as this very file's fixtures do) is data,
+     not a suppression. *)
+  check_rules "string literal does not suppress" [ "float-eq" ]
+    (lint
+       "let f x =\n\
+        \  let _doc = \"(* lint: allow float-eq — inside a string *)\" in\n\
+        \  x = 1.0");
+  check_rules "comment after a string with escapes still works" []
+    (lint
+       "let f x =\n\
+        \  let _s = \"quote \\\" inside\" in\n\
+        \  (* lint: allow float-eq — exact sentinel round-trip *)\n\
+        \  x = 1.0")
+
+let test_parse_error_reported () =
+  match lint "let f = (" with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "parse-error" f.Rules.rule;
+    Alcotest.(check bool) "non-suppressible" false f.Rules.suppressible
+  | fs -> Alcotest.failf "expected one parse-error, got %d findings" (List.length fs)
+
+let tests =
+  ( "lint",
+    [ tc "float-eq fires" `Quick test_float_eq_fires;
+      tc "float-eq quiet" `Quick test_float_eq_quiet;
+      tc "float-eq suppressed" `Quick test_float_eq_suppressed;
+      tc "unsafe fires" `Quick test_unsafe_fires;
+      tc "unsafe outside allowlist" `Quick test_unsafe_outside_allowlist;
+      tc "unsafe suppressed" `Quick test_unsafe_suppressed;
+      tc "catch-all fires" `Quick test_catch_all_fires;
+      tc "catch-all quiet" `Quick test_catch_all_quiet;
+      tc "catch-all suppressed" `Quick test_catch_all_suppressed;
+      tc "print fires" `Quick test_print_fires;
+      tc "print scoping" `Quick test_print_scoping;
+      tc "print suppressed" `Quick test_print_suppressed;
+      tc "partial fires" `Quick test_partial_fires;
+      tc "partial scoping" `Quick test_partial_scoping;
+      tc "partial suppressed" `Quick test_partial_suppressed;
+      tc "mli required" `Quick test_mli_required;
+      tc "suppression needs justification" `Quick test_suppression_needs_justification;
+      tc "suppression unknown rule" `Quick test_suppression_unknown_rule;
+      tc "suppression scope tight" `Quick test_suppression_scope_is_tight;
+      tc "suppression in string inert" `Quick test_suppression_in_string_is_inert;
+      tc "parse error reported" `Quick test_parse_error_reported
+    ] )

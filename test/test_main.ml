@@ -21,5 +21,6 @@ let () =
       Test_integration.tests;
       Test_properties.tests;
       Test_report.tests;
-      Test_edge_cases.tests
+      Test_edge_cases.tests;
+      Test_lint.tests
     ]

@@ -1,0 +1,60 @@
+(* s3lint driver: walk the given directories (default: lib bin bench
+   test), lint every .ml/.mli, enforce mli-required, print findings
+   compiler-style and exit non-zero if any remain. *)
+
+let usage = "usage: s3lint [--list-rules] [dir-or-file ...]"
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && (entry.[0] = '.' || entry.[0] = '_') then acc
+        else walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+    path :: acc
+  else acc
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-help" args then begin
+    print_endline usage;
+    print_endline "rules:";
+    List.iter (fun (n, d) -> Printf.printf "  %-16s %s\n" n d) S3lint.Rules.rules;
+    exit 0
+  end;
+  if List.mem "--list-rules" args then begin
+    List.iter (fun (n, d) -> Printf.printf "%-16s %s\n" n d) S3lint.Rules.rules;
+    exit 0
+  end;
+  let roots = match args with [] -> [ "lib"; "bin"; "bench"; "test" ] | l -> l in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "s3lint: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let files = List.rev (List.fold_left (fun acc r -> walk r acc) [] roots) in
+  let findings =
+    List.concat_map S3lint.Rules.lint_file files
+    @ S3lint.Rules.missing_mlis ~exists:Sys.file_exists files
+  in
+  let findings =
+    List.sort
+      (fun (a : S3lint.Rules.finding) (b : S3lint.Rules.finding) ->
+        compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule))
+      findings
+  in
+  List.iter (fun f -> Format.printf "%a@." S3lint.Rules.pp_finding f) findings;
+  let nfiles = List.length files in
+  match findings with
+  | [] ->
+    Printf.printf "s3lint: %d files clean\n" nfiles;
+    exit 0
+  | fs ->
+    Printf.printf "s3lint: %d finding(s) in %d files\n" (List.length fs) nfiles;
+    exit 1

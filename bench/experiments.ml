@@ -17,6 +17,8 @@ module Emulator = S3_cloud.Emulator
 module Table = S3_util.Table
 module Stats = S3_util.Stats
 module Prng = S3_util.Prng
+module Sweep = S3_par.Sweep
+module Report = S3_sim.Report
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -117,10 +119,15 @@ let table2 () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 2: baseline comparison, simulation vs emulated cloud.          *)
 
+(* Sweep rows run in parallel across domains (see lib/par): each job
+   builds its own topology and algorithm instances and only reads the
+   shared immutable task list, and [Sweep.map_list] returns rows in
+   input order, so the printed tables are byte-identical to a
+   sequential run. *)
 let fig2_rows ~rate ~with_cloud =
   let cfg = config ~rate () in
   let tasks = tasks_of cfg in
-  List.map
+  Sweep.map_list
     (fun name ->
       let sim = simulate name tasks in
       let base =
@@ -177,7 +184,7 @@ let fig3a () =
   let tasks = tasks_of (config ~rate:1.6 ()) in
   let full = simulate "lpst" tasks in
   let rows =
-    List.map
+    Sweep.map_list
       (fun name ->
         let run = simulate name tasks in
         let delta =
@@ -204,7 +211,7 @@ let fig3b () =
   let tasks = tasks_of (config ~rate:1.2 ()) in
   let names = [ "fifo"; "disfifo"; "disedf"; "lpall"; "lpst" ] in
   let rows =
-    List.map
+    Sweep.map_list
       (fun max_frac ->
         let engine_config =
           { Engine.foreground = Foreground.uniform ~max_frac; seed = 5 }
@@ -229,7 +236,7 @@ let fig3c () =
   heading "Fig. 3c: task mix of (9,6) [Google] and (14,10) [Facebook] codes, rate 1.2/s";
   let names = [ "disfifo"; "disedf"; "lpall"; "lpst" ] in
   let rows =
-    List.map
+    Sweep.map_list
       (fun frac96 ->
         let mix = [ ((9, 6), frac96); ((14, 10), 1. -. frac96) ] in
         let tasks = tasks_of (config ~rate:1.2 ~mix ()) in
@@ -252,7 +259,7 @@ let fig3d () =
   let names = [ "fifo"; "disfifo"; "disedf"; "lpall"; "lpst" ] in
   let base_tasks = max 100 (num_tasks () / 2) in
   let rows =
-    List.map
+    Sweep.map_list
       (fun chunk ->
         let rate = 1.2 *. 64. /. chunk in
         let tasks = tasks_of (config ~rate ~chunk ~tasks:base_tasks ()) in
@@ -277,7 +284,7 @@ let fig3e () =
   heading "Fig. 3e: arrival rate 1/30 .. 2 tasks/s — completed tasks and link utilization";
   let names = [ "fifo"; "disfifo"; "lpall"; "lpst" ] in
   let rows =
-    List.map
+    Sweep.map_list
       (fun rate ->
         let tasks = tasks_of (config ~rate ()) in
         Printf.sprintf "%.3f" rate
@@ -309,7 +316,7 @@ let fig3f () =
   heading "Fig. 3f: deadline = factor x LRT, factor 2..10, rate 1.0/s";
   let names = [ "edf"; "disedf"; "lpall"; "lpst" ] in
   let rows =
-    List.map
+    Sweep.map_list
       (fun factor ->
         Printf.sprintf "%.0f" factor
         :: List.concat_map
@@ -351,7 +358,7 @@ let fig4 () =
   let thresholds = [ 0.2; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ] in
   let names = [ "fifo"; "edf"; "disfifo"; "disedf"; "lpall"; "lpst" ] in
   let rows =
-    List.map
+    Sweep.map_list
       (fun name ->
         let run = simulate name tasks in
         let times = Metrics.normalized_completion_times run in
@@ -624,6 +631,24 @@ let topologies () =
     ~align:(Table.Left :: List.map (fun _ -> Table.Right) names)
     ~header:("topology" :: List.map (fun n -> (Registry.make n).S3_core.Algorithm.name) names)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-sweep scenario replications: one fully self-contained
+   simulation per index — topology, PRNG (seeded from the index alone)
+   and algorithm instances are all built inside the job, the shape
+   {!S3_par.Sweep} needs for a deterministic parallel run. Used by the
+   bench regression mode's parallel-vs-sequential wall-clock pair and
+   by the determinism test suite. *)
+
+let sweep_scenario idx =
+  let t = topo () in
+  let g = Prng.create (workload_seed + (31 * (idx + 1))) in
+  let cfg = config ~rate:1.2 ~tasks:(max 60 (num_tasks () / 8)) () in
+  let tasks = Generator.generate g t cfg in
+  Engine.run t (Registry.make "lpst") tasks
+
+let sweep_fingerprints ~domains n =
+  Array.map Report.fingerprint (Sweep.map ~domains n sweep_scenario)
 
 (* ------------------------------------------------------------------ *)
 

@@ -47,6 +47,8 @@ let micro_tests =
     S3_lp.Lp.make ~nvars:n ~objective:(Array.make n 1.) constrs
   in
   let p60 = lp_problem 60 in
+  let p120 = lp_problem 120 in
+  let p240 = lp_problem 240 in
   let rs = S3_storage.Reed_solomon.make ~n:9 ~k:6 in
   let data = Bytes.init 4096 (fun i -> Char.chr (i land 0xff)) in
   let shards = S3_storage.Reed_solomon.encode rs data in
@@ -58,6 +60,10 @@ let micro_tests =
   [ Test.make ~name:"lp/simplex-60" (Staged.stage (fun () -> ignore (S3_lp.Lp.solve p60)));
     Test.make ~name:"lp/packing-60"
       (Staged.stage (fun () -> ignore (S3_lp.Lp.solve ~backend:(S3_lp.Lp.Approx 0.1) p60)));
+    Test.make ~name:"lp/packing-120"
+      (Staged.stage (fun () -> ignore (S3_lp.Lp.solve ~backend:(S3_lp.Lp.Approx 0.1) p120)));
+    Test.make ~name:"lp/packing-240"
+      (Staged.stage (fun () -> ignore (S3_lp.Lp.solve ~backend:(S3_lp.Lp.Approx 0.1) p240)));
     Test.make ~name:"rs/encode-9_6-4KB"
       (Staged.stage (fun () -> ignore (S3_storage.Reed_solomon.encode rs data)));
     Test.make ~name:"rs/reconstruct-9_6-4KB"
@@ -106,7 +112,7 @@ let run_bechamel () =
 (* Regression mode: microbenchmark ns/run per kernel plus end-to-end
    plan-time accounting from full engine runs on the fig5 burst scenes,
    dumped as JSON so a driver can diff runs mechanically. *)
-let bench_json_file = "BENCH_1.json"
+let bench_json_file = "BENCH_3.json"
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -119,6 +125,43 @@ let json_escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+(* The commit the regression numbers belong to, read straight from
+   .git (no subprocess): HEAD is either a detached hash or a "ref: "
+   line pointing at a per-branch file. *)
+let git_rev () =
+  let read path = String.trim (In_channel.with_open_text path In_channel.input_all) in
+  match read ".git/HEAD" with
+  | exception Sys_error _ -> "unknown"
+  | head -> (
+    match String.split_on_char ' ' head with
+    | [ "ref:"; r ] -> (
+      match read (Filename.concat ".git" (String.trim r)) with
+      | rev -> rev
+      | exception Sys_error _ -> "unknown")
+    | _ -> head)
+
+(* Parallel-vs-sequential wall clock on the self-contained scenario
+   sweep: the same replications once on 1 domain and once on the
+   configured pool, with the fingerprint comparison proving the
+   reports are byte-identical. *)
+let sweep_pair () =
+  print_endline "\n=== sweep: parallel vs sequential (wall clock) ===";
+  let jobs = 8 in
+  let domains = S3_par.Sweep.domain_count () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = timed (fun () -> Experiments.sweep_fingerprints ~domains:1 jobs) in
+  let par, par_s = timed (fun () -> Experiments.sweep_fingerprints ~domains jobs) in
+  let deterministic = seq = par in
+  Printf.printf
+    "%d jobs: sequential %.3fs, parallel %.3fs on %d domains (speedup %.2fx), \
+     deterministic=%b\n%!"
+    jobs seq_s par_s domains (seq_s /. par_s) deterministic;
+  (jobs, domains, seq_s, par_s, deterministic)
 
 let run_bench () =
   let micro = run_bechamel () in
@@ -135,8 +178,21 @@ let run_bench () =
           [ 50; 100 ])
       [ "fifo"; "disedf"; "lpst"; "lpall" ]
   in
+  let jobs, domains, seq_s, par_s, deterministic = sweep_pair () in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"micro_ns_per_run\": {\n";
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"meta\": { \"git_rev\": \"%s\", \"ocaml\": \"%s\", \"domains\": %d },\n"
+       (json_escape (git_rev ()))
+       (json_escape Sys.ocaml_version)
+       domains);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sweep\": { \"jobs\": %d, \"domains\": %d, \"sequential_s\": %.6f, \
+        \"parallel_s\": %.6f, \"speedup\": %.4f, \"deterministic\": %b },\n"
+       jobs domains seq_s par_s (seq_s /. par_s) deterministic);
+  Buffer.add_string b "  \"micro_ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->
       Buffer.add_string b

@@ -50,10 +50,12 @@ type snapshot = {
 
 type state = {
   ws : Simplex.workspace;
+  pws : Packing.workspace;  (* CSR/heap arena for the Approx backend *)
   mutable prev : snapshot option;
 }
 
-let create_state () = { ws = Simplex.create_workspace (); prev = None }
+let create_state () =
+  { ws = Simplex.create_workspace (); pws = Packing.create_workspace (); prev = None }
 
 let make ~nvars ~objective ?lower constraints =
   if nvars < 0 then invalid_arg "Lp.make: negative nvars";
@@ -95,23 +97,19 @@ let feasible ?(tol = 1e-6) p x =
         p.constraints;
       !ok)
 
-(* Dense view after the lower-bound substitution x = lower + y, y >= 0:
-   each bound becomes b - row . lower. *)
-let densify p =
-  let m = List.length p.constraints in
-  let rows = Array.make_matrix m p.nvars 0. in
-  let rhs = Array.make m 0. in
-  List.iteri
-    (fun i { coeffs; bound } ->
-      let shift = ref 0. in
-      List.iter
-        (fun (j, a) ->
-          rows.(i).(j) <- rows.(i).(j) +. a;
-          shift := !shift +. (a *. p.lower.(j)))
-        coeffs;
-      rhs.(i) <- bound -. !shift)
-    p.constraints;
-  (rows, rhs)
+(* Canonical sparse row for the packing backend: coefficients sorted by
+   column, duplicates summed in their original list order (a stable
+   sort keeps equal keys in sequence), matching the sums a dense
+   scatter of the same list would produce slot by slot. *)
+let canonical_row coeffs =
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) coeffs in
+  let rec merge = function
+    | [] -> []
+    | [ entry ] -> [ entry ]
+    | (j1, a1) :: (j2, a2) :: rest when j1 = j2 -> merge ((j1, a1 +. a2) :: rest)
+    | entry :: rest -> entry :: merge rest
+  in
+  merge sorted
 
 let finish p y =
   let values = Array.init p.nvars (fun j -> p.lower.(j) +. y.(j)) in
@@ -213,8 +211,15 @@ let solve ?(backend = Exact) ?state p =
   match backend with
   | Exact -> exact ()
   | Approx eps -> (
-    let rows, rhs = densify p in
-    match Packing.maximize ~eps ~obj:p.objective ~rows ~rhs with
+    (* Sparse view after the lower-bound substitution x = lower + y:
+       canonical ascending rows plus the shifted bounds — no dense m x n
+       matrix is ever materialized, and the per-state CSR/heap arena is
+       reused across consecutive solves. *)
+    let cons = Array.of_list p.constraints in
+    let rows = Array.map (fun c -> canonical_row c.coeffs) cons in
+    let rhs = shifted_rhs p cons in
+    let pws = Option.map (fun st -> st.pws) state in
+    match Packing.maximize_sparse ?ws:pws ~eps ~obj:p.objective ~rows ~rhs () with
     | Ok y -> Ok (finish p y)
     | Error `Unbounded -> Error Unbounded
     | Error `Not_packing -> exact ())

@@ -36,16 +36,18 @@ type backend =
                          problem is not a pure packing instance *)
 
 type state
-(** Reusable solver state for the exact backend: a tableau workspace
-    (no per-solve allocation of the working matrix) plus the last
-    solved problem's optimal basis and solution. When consecutive
-    solves repeat a problem the cached solution is returned directly;
-    when the constraint structure is unchanged or only grew (old rows a
-    coefficient-wise prefix of the new ones, variables appended), the
-    previous basis warm-starts phase 2. Any mismatch falls back to a
-    cold solve, so state affects speed, never results. Reuse one state
-    per logical problem stream (and per backend); do not share it
-    across concurrent solves. *)
+(** Reusable solver state: a simplex tableau workspace and a packing
+    CSR/heap arena (no per-solve allocation of the working matrices)
+    plus, for the exact backend, the last solved problem's optimal
+    basis and solution. When consecutive exact solves repeat a problem
+    the cached solution is returned directly; when the constraint
+    structure is unchanged or only grew (old rows a coefficient-wise
+    prefix of the new ones, variables appended), the previous basis
+    warm-starts phase 2. The approximate backend reuses the packing
+    workspace across solves. Any mismatch falls back to a cold solve,
+    so state affects speed, never results. Reuse one state per logical
+    problem stream; do not share it across concurrent solves — give
+    each domain its own. *)
 
 val create_state : unit -> state
 

@@ -1,0 +1,30 @@
+(** Deterministic parallel sweeps over independent scenarios.
+
+    [map] fans indexed jobs out over a domain pool and returns results
+    in index order, so a sweep produces byte-identical output whether
+    it runs on one domain or many — provided jobs are self-contained:
+    derive all randomness from the job index (per-scenario seeds),
+    build topology/task objects inside the job (shared structures with
+    internal lazy caches are not domain-safe), and treat the result
+    slot as the only output channel. *)
+
+val domain_count : unit -> int
+(** The default parallelism: the [S3_DOMAINS] environment variable
+    when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()], clamped to [1 .. 64]. The
+    first call caches the answer. *)
+
+val set_domain_count : int -> unit
+(** Override the default parallelism for the process (e.g. from a
+    benchmark harness pinning a sequential baseline). Raises
+    [Invalid_argument] when the count is < 1. *)
+
+val map : ?domains:int -> ?pool:Pool.t -> int -> (int -> 'a) -> 'a array
+(** [map n f] computes [|f 0; ...; f (n-1)|] with jobs distributed
+    over [domains] domains (default {!domain_count}; an explicit
+    [pool] reuses already-spawned domains instead). A single-domain
+    run executes inline without spawning anything. The first job
+    exception cancels the remaining jobs and is re-raised. *)
+
+val map_list : ?domains:int -> ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}, preserving input order. *)

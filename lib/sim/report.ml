@@ -64,3 +64,30 @@ let speedup ~baseline run =
   let b = Metrics.completed baseline and r = Metrics.completed run in
   if b = 0 then if r = 0 then 1. else infinity
   else float_of_int r /. float_of_int b
+
+(* Canonical, timing-free serialization of a run. plan_time is CPU
+   time measured inside the engine ([Sys.time]) and varies with load,
+   domain count and machine, so it is the one run field excluded; all
+   floats print as %.17g (round-trip exact), making the digest a
+   byte-level identity on everything the simulation computed. *)
+let fingerprint (r : Metrics.run) =
+  let buf = Buffer.create 1024 in
+  let fl v = Buffer.add_string buf (Printf.sprintf "%.17g;" v) in
+  let it i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
+  Buffer.add_string buf r.Metrics.algorithm;
+  Buffer.add_char buf ';';
+  fl r.Metrics.horizon;
+  fl r.Metrics.transferred;
+  fl r.Metrics.utilization;
+  it r.Metrics.plan_calls;
+  it r.Metrics.events;
+  it r.Metrics.clamp_events;
+  List.iter
+    (fun (o : Metrics.outcome) ->
+      it o.Metrics.task.Task.id;
+      Array.iter it o.Metrics.sources;
+      Buffer.add_string buf (if o.Metrics.completed then "T" else "F");
+      fl o.Metrics.finish_time;
+      fl o.Metrics.remaining)
+    r.Metrics.outcomes;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

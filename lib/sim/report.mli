@@ -20,3 +20,12 @@ val csv_of_outcomes : Metrics.run -> string
 val speedup : baseline:Metrics.run -> Metrics.run -> float
 (** Ratio of completed-task counts ([infinity] when the baseline
     completed none and the other completed some; 1 when both are 0). *)
+
+val fingerprint : Metrics.run -> string
+(** Hex digest of a canonical, timing-free serialization of the run:
+    algorithm, horizon, transferred volume, utilization, plan calls,
+    event counts and every per-task outcome (floats rendered
+    round-trip exact), but {e not} [plan_time], which is CPU time and
+    varies run to run. Two runs of the same scenario fingerprint
+    identically no matter how many domains executed the sweep around
+    them — the determinism check for {!S3_par.Sweep}. *)

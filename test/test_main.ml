@@ -4,6 +4,7 @@ let () =
       Test_stats.tests;
       Test_table.tests;
       Test_lp.tests;
+      Test_packing.tests;
       Test_solver_stress.tests;
       Test_planning_core.tests;
       Test_gf256.tests;
@@ -21,6 +22,7 @@ let () =
       Test_integration.tests;
       Test_properties.tests;
       Test_report.tests;
+      Test_par.tests;
       Test_edge_cases.tests;
       Test_lint.tests
     ]

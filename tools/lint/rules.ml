@@ -36,7 +36,7 @@ let rules =
 
 let rule_names = List.map fst rules
 
-let hot_path_allowlist = [ "reed_solomon"; "gf256"; "simplex"; "engine" ]
+let hot_path_allowlist = [ "reed_solomon"; "gf256"; "simplex"; "engine"; "packing" ]
 
 let kind_of_path path =
   let path =

@@ -22,6 +22,7 @@ module Engine = S3_sim.Engine
 module Foreground = S3_sim.Foreground
 module Metrics = S3_sim.Metrics
 module Emulator = S3_cloud.Emulator
+module Fault = S3_fault.Fault
 module Table = S3_util.Table
 module Prng = S3_util.Prng
 
@@ -88,19 +89,31 @@ let csv_arg =
        & info [ "csv" ] ~docv:"FILE"
            ~doc:"Also write per-run results as CSV to $(docv) ('-' for stdout).")
 
-let report ~cloud ~fg ~seed ?csv topo names tasks =
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Inject a deterministic fault plan: comma-separated events among \
+                 crash@T:SRV, recover@T:SRV, rack@T:RACK and degrade@T:ENT:FACTOR:DUR, \
+                 e.g. 'crash@30:5,degrade@10:36:0.5:20'.")
+
+let parse_faults = function
+  | None -> Ok Fault.empty
+  | Some spec -> Fault.of_string spec
+
+let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?csv topo names tasks =
   let config =
     { Engine.foreground =
         (if fg > 0. then Foreground.uniform ~max_frac:fg else Foreground.none);
       seed = seed + 1
     }
   in
+  let with_faults = not (Fault.is_empty faults) in
   let runs =
     List.map
       (fun name ->
         let alg = Registry.make name in
-        if cloud then Emulator.run ~sim_config:config topo alg tasks
-        else Engine.run ~config topo alg tasks)
+        if cloud then Emulator.run ~sim_config:config ~faults topo alg tasks
+        else Engine.run ~config ~faults topo alg tasks)
       names
   in
   let rows =
@@ -112,13 +125,25 @@ let report ~cloud ~fg ~seed ?csv topo names tasks =
           Table.fmt_pct run.Metrics.utilization;
           Table.fmt_float ~decimals:1 run.Metrics.horizon;
           Printf.sprintf "%.2f" (1000. *. Metrics.mean_plan_time run)
-        ])
+        ]
+        @
+        if with_faults then
+          [ string_of_int run.Metrics.flows_killed;
+            string_of_int run.Metrics.tasks_rehomed;
+            string_of_int run.Metrics.tasks_lost
+          ]
+        else [])
       runs
   in
+  let fault_cols = if with_faults then [ "killed"; "rehomed"; "lost" ] else [] in
   print_endline
     (Table.render
-       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
-       ~header:[ "algorithm"; "completed"; "remaining(GB)"; "util"; "makespan(s)"; "plan(ms)" ]
+       ~align:
+         ([ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+         @ List.map (fun _ -> Table.Right) fault_cols)
+       ~header:
+         ([ "algorithm"; "completed"; "remaining(GB)"; "util"; "makespan(s)"; "plan(ms)" ]
+         @ fault_cols)
        rows);
   match csv with
   | None -> ()
@@ -147,12 +172,12 @@ let run_cmd =
          & info [ "deadline-jitter" ] ~doc:"Relative deadline-factor spread, [0,1).")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs tasks rate chunk (n, k)
-      factor jitter fg seed cloud verbose csv =
+      factor jitter fg seed cloud verbose faults_spec csv =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
-           parse_algorithms algs) with
-    | Error e, _ | _, Error e -> `Error (false, e)
-    | Ok topo, Ok names ->
+           parse_algorithms algs, parse_faults faults_spec) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+    | Ok topo, Ok names, Ok faults ->
       (try
          let cfg =
            { Generator.num_tasks = tasks;
@@ -165,10 +190,12 @@ let run_cmd =
            }
          in
          let workload = Generator.generate (Prng.create seed) topo cfg in
-         Printf.printf "%s | %d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s%s\n\n"
+         Printf.printf "%s | %d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s%s%s\n\n"
            (Topology.name topo) tasks n k chunk rate
-           (if cloud then " | emulated cloud" else "");
-         report ~cloud ~fg ~seed ?csv topo names workload;
+           (if cloud then " | emulated cloud" else "")
+           (if Fault.is_empty faults then ""
+            else Printf.sprintf " | faults: %s" (Fault.to_string faults));
+         report ~cloud ~fg ~seed ~faults ?csv topo names workload;
          `Ok ()
        with Invalid_argument m -> `Error (false, m))
   in
@@ -176,7 +203,8 @@ let run_cmd =
     Term.(ret
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ tasks_arg $ rate_arg $ chunk_arg $ code_arg
-             $ factor_arg $ jitter_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ csv_arg))
+             $ factor_arg $ jitter_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg
+             $ faults_arg $ csv_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a synthetic background-task workload.") term
 
@@ -194,12 +222,12 @@ let trace_cmd =
     Arg.(value & opt float 10. & info [ "deadline-factor" ] ~doc:"Deadline = factor x LRT.")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs file machines tasks chunk
-      factor fg seed cloud verbose csv =
+      factor fg seed cloud verbose faults_spec csv =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
-           parse_algorithms algs) with
-    | Error e, _ | _, Error e -> `Error (false, e)
-    | Ok topo, Ok names ->
+           parse_algorithms algs, parse_faults faults_spec) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+    | Ok topo, Ok names, Ok faults ->
       (try
          let g = Prng.create seed in
          let records =
@@ -215,7 +243,7 @@ let trace_cmd =
            Trace.to_tasks g topo records ~chunk_size_mb:chunk ~deadline_factor:factor
          in
          Printf.printf "%s | %d trace records\n\n" (Topology.name topo) (List.length records);
-         report ~cloud ~fg ~seed ?csv topo names workload;
+         report ~cloud ~fg ~seed ~faults ?csv topo names workload;
          `Ok ()
        with
        | Invalid_argument m -> `Error (false, m)
@@ -225,7 +253,7 @@ let trace_cmd =
     Term.(ret
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ file_arg $ machines_arg $ tasks_arg $ chunk_arg
-             $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ csv_arg))
+             $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ faults_arg $ csv_arg))
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate a Google-style arrival trace.") term
 

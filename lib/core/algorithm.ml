@@ -3,11 +3,14 @@ type source_policy =
   | Least_congested
   | Shortest_path
 
+type reselect = Problem.view -> Problem.Task.t -> eligible:int array -> need:int -> int array
+
 type t = {
   name : string;
   select_sources : Problem.view -> Problem.Task.t -> int array;
   allocate : Problem.view -> Allocation.rates;
   abandon_expired : bool;
+  reselect : reselect option;
 }
 
 let source_selector = function
@@ -26,4 +29,29 @@ let source_selector = function
       |> List.stable_sort (fun a b ->
              match compare (hops a) (hops b) with 0 -> compare a b | c -> c)
       |> List.filteri (fun i _ -> i < task.Task.k)
+      |> Array.of_list
+
+let reselect_of_policy policy =
+  let module Task = S3_workload.Task in
+  match policy with
+  | Least_congested ->
+    fun (view : Problem.view) (task : Task.t) ~eligible ~need ->
+      (* Phase I re-run on the shrunken candidate set: score the current
+         view's congestion and pick the [need] least congested paths. *)
+      Congestion.select_least_congested view { task with Task.sources = eligible; k = need }
+  | Random_sources seed ->
+    (* A private stream, decoupled from the arrival-time selector so
+       re-homing never perturbs the sources of later arrivals. *)
+    let g = S3_util.Prng.create (seed + 0x5e1ec7) in
+    fun _view _task ~eligible ~need ->
+      Array.of_list (S3_util.Prng.sample g need (Array.to_list eligible))
+  | Shortest_path ->
+    fun (view : Problem.view) (task : Task.t) ~eligible ~need ->
+      let hops s =
+        List.length (S3_net.Topology.route view.Problem.topo ~src:s ~dst:task.Task.destination)
+      in
+      Array.to_list eligible
+      |> List.stable_sort (fun a b ->
+             match compare (hops a) (hops b) with 0 -> compare a b | c -> c)
+      |> List.filteri (fun i _ -> i < need)
       |> Array.of_list

@@ -15,6 +15,15 @@ type source_policy =
           the "select the closest chunk" heuristic of the paper's §3.1
           Policy 1 *)
 
+type reselect = Problem.view -> Problem.Task.t -> eligible:int array -> need:int -> int array
+(** [reselect view task ~eligible ~need] picks [need] distinct
+    replacement sources from [eligible] for a task whose original
+    sources died mid-run. [eligible] is the surviving candidate subset
+    of [task.sources]: never-crashed servers not already serving
+    another of the task's subtasks; the engine only calls the hook when
+    [Array.length eligible >= need]. The view describes the system with
+    the killed flows already removed. *)
+
 type t = {
   name : string;
   select_sources : Problem.view -> Problem.Task.t -> int array;
@@ -30,9 +39,21 @@ type t = {
       LSTF): an expired task keeps transferring — it already counts as
       failed, but it still occupies the network, which is precisely the
       head-of-line blocking the paper punishes them for. *)
+  reselect : reselect option;
+  (** source re-selection under failures; [None] makes every task with
+      a killed subtask unrecoverable (the no-reselection baseline the
+      fault tests compare against) *)
 }
 
 val source_selector :
   source_policy -> Problem.view -> Problem.Task.t -> int array
 (** Build a selection function from a policy (instantiates the PRNG for
     [Random_sources]). *)
+
+val reselect_of_policy : source_policy -> reselect
+(** The failure-time counterpart of {!source_selector}: re-run the same
+    policy on the surviving candidates ([Least_congested] re-runs Phase
+    I against the current congestion; [Random_sources] draws from a
+    private stream offset from the seed, so re-homing never perturbs
+    the source choices of later arrivals; [Shortest_path] takes the
+    closest survivors). *)

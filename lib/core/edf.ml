@@ -6,7 +6,8 @@ let edf ?(name = "EDF") ?(sources = Algorithm.Random_sources 2) () =
   { Algorithm.name;
     select_sources = Algorithm.source_selector sources;
     allocate = (fun v -> Allocation.priority_fill v (Sequencing.head_only v ~key:deadline_key));
-    abandon_expired = false
+    abandon_expired = false;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }
 
 let dis_edf ?(name = "DisEDF") ?(sources = Algorithm.Random_sources 2) () =
@@ -14,5 +15,6 @@ let dis_edf ?(name = "DisEDF") ?(sources = Algorithm.Random_sources 2) () =
     select_sources = Algorithm.source_selector sources;
     allocate =
       (fun v -> Allocation.priority_fill v (Sequencing.disjoint_groups v ~key:deadline_key));
-    abandon_expired = false
+    abandon_expired = false;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }

@@ -6,7 +6,8 @@ let fifo ?(name = "FIFO") ?(sources = Algorithm.Random_sources 1) () =
   { Algorithm.name;
     select_sources = Algorithm.source_selector sources;
     allocate = (fun v -> Allocation.priority_fill v (Sequencing.head_only v ~key:arrival_key));
-    abandon_expired = false
+    abandon_expired = false;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }
 
 let dis_fifo ?(name = "DisFIFO") ?(sources = Algorithm.Random_sources 1) () =
@@ -14,5 +15,6 @@ let dis_fifo ?(name = "DisFIFO") ?(sources = Algorithm.Random_sources 1) () =
     select_sources = Algorithm.source_selector sources;
     allocate =
       (fun v -> Allocation.priority_fill v (Sequencing.disjoint_groups v ~key:arrival_key));
-    abandon_expired = false
+    abandon_expired = false;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }

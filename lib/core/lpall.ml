@@ -24,5 +24,6 @@ let lpall ?(sources = Algorithm.Least_congested) ?backend () =
   { Algorithm.name = "LPAll";
     select_sources = Algorithm.source_selector sources;
     allocate;
-    abandon_expired = true
+    abandon_expired = true;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }

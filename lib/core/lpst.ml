@@ -126,5 +126,6 @@ let lpst ?(sources = Algorithm.Least_congested) ?backend ?(admission = Rtf_order
   { Algorithm.name;
     select_sources = Algorithm.source_selector sources;
     allocate;
-    abandon_expired = true
+    abandon_expired = true;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }

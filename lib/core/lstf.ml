@@ -4,5 +4,6 @@ let lstf ?(name = "LSTF") ?(sources = Algorithm.Random_sources 3) () =
   { Algorithm.name;
     select_sources = Algorithm.source_selector sources;
     allocate = (fun v -> Allocation.priority_fill v (Sequencing.head_only v ~key:slack_key));
-    abandon_expired = false
+    abandon_expired = false;
+    reselect = Some (Algorithm.reselect_of_policy sources)
   }

@@ -1,0 +1,143 @@
+(** Deterministic fault injection: seed-driven plans of mid-run
+    failures, played into the execution engine as first-class events.
+
+    A {e plan} is an immutable, time-sorted script of faults — server
+    crashes, whole-rack outages, transient link degradations and server
+    recoveries. The engine walks a {e state} cursor over the plan: at
+    each change it kills the flows whose endpoints died, hands surviving
+    tasks back to the algorithm for source re-selection, and (optionally)
+    emits closed-loop repair traffic against a live {!S3_storage.Cluster}.
+    Everything is derived from explicit seeds and plain data, so equal
+    seeds and equal plans replay byte-identically — the property the
+    chaos test suite pins with {!S3_sim.Report.fingerprint} (once the
+    engine consumes the plan; this module itself never draws randomness
+    outside {!random}).
+
+    Semantics the cursor enforces:
+    - A crashed server's NIC contributes zero capacity while it is down
+      (its entity {!multiplier} is 0), and the server is remembered as
+      {!ever_crashed} forever: the chunks it held are gone, so it never
+      re-enters any task's candidate set even after {!kind.Server_recover}
+      brings it back (empty) as a valid destination for new traffic.
+    - A rack outage is the simultaneous crash of every server still
+      alive in the rack.
+    - A link degradation multiplies one entity's capacity by a factor in
+      [0, 1] for a bounded interval; overlapping degradations on the
+      same entity compound (their factors multiply). Expiry is itself a
+      change point ({!change.Restored}), so schedulers recompute when
+      capacity returns. *)
+
+type kind =
+  | Server_crash of int  (** the server dies; its chunks are lost *)
+  | Server_recover of int
+      (** the server returns, {e empty}: full NIC capacity, eligible as
+          a destination again, but permanently out of the candidate set
+          of any stripe it used to hold *)
+  | Rack_outage of int  (** crash every live server of one failure domain *)
+  | Link_degrade of { entity : int; factor : float; duration : float }
+      (** entity capacity is multiplied by [factor] (in [0, 1]) for
+          [duration] seconds from the event time *)
+
+type event = { time : float; kind : kind }
+
+type t
+(** A validated plan: events in nondecreasing time order (stable for
+    equal times). *)
+
+val empty : t
+(** The no-fault plan; the engine with [empty] behaves exactly as one
+    run without faults. *)
+
+val plan : event list -> t
+(** Validate and time-sort a script. Raises [Invalid_argument] on a
+    negative or non-finite time, a degradation factor outside [0, 1],
+    or a non-positive or non-finite duration. Server / rack / entity
+    indices are checked later, by {!start}, against a topology. *)
+
+val events : t -> event list
+(** The script, in the order the cursor will fire it. *)
+
+val is_empty : t -> bool
+
+val random :
+  S3_util.Prng.t -> S3_net.Topology.t -> horizon:float ->
+  ?crashes:int -> ?rack_outages:int -> ?degradations:int ->
+  ?recoveries:bool -> unit -> t
+(** A seeded random plan for chaos campaigns: [crashes] distinct-server
+    crash events (capped so at least two servers stay un-crashed),
+    [rack_outages] whole-rack outages, [degradations] transient
+    degradations (factor in [0.1, 0.9], duration up to [horizon / 2]),
+    all at uniform times in [0, horizon); with [recoveries] (default
+    true) each crashed server gets a recovery at a later time with
+    probability 1/2. Defaults: 1 crash, 0 rack outages, 1 degradation.
+    Equal generator states yield equal plans. *)
+
+val of_string : string -> (t, string) result
+(** Parse a compact comma-separated spec, one event per item:
+    - [crash@T:SRV] — server [SRV] crashes at time [T]
+    - [recover@T:SRV]
+    - [rack@T:RACK] — rack outage
+    - [degrade@T:ENT:FACTOR:DUR] — entity [ENT] at [FACTOR] of its
+      capacity for [DUR] seconds
+
+    e.g. ["crash@30:5,degrade@10:36:0.5:20,recover@60:5"]. Returns
+    [Error] with a human-readable message on malformed input. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+(** {2 The engine-facing cursor} *)
+
+type change =
+  | Crashed of int  (** a server just died (rack outages are expanded) *)
+  | Recovered of int  (** a previously dead server just returned *)
+  | Degraded of int  (** a degradation just started on this entity *)
+  | Restored of int  (** a degradation on this entity just expired *)
+
+type state
+
+val start : S3_net.Topology.t -> t -> state
+(** Bind a plan to a topology and validate every index against it
+    (raises [Invalid_argument] on a server / rack / entity out of
+    range). All servers start alive and all multipliers at 1. *)
+
+val next_change : state -> float
+(** Absolute time of the next change — the earliest un-fired event or
+    active-degradation expiry; [infinity] when nothing remains. *)
+
+val advance : state -> float -> change list
+(** Fire everything due at or before the given time (with the engine's
+    usual 1e-9 tolerance), in plan order, and return the normalized
+    changes: crashing a dead server or recovering a live one is a
+    no-op and reports nothing; a rack outage reports one [Crashed] per
+    server it actually killed. Time never goes backwards. *)
+
+val dead : state -> int -> bool
+(** Is this server currently down? *)
+
+val ever_crashed : state -> int -> bool
+(** Has this server crashed at any point so far? Once true, stays true
+    (recovered servers return empty — their old chunks are lost). *)
+
+val exhausted : state -> bool
+(** No script event remains un-fired (active degradations may still be
+    pending expiry). The engine uses this to keep a closed-loop-repair
+    run alive until the last scripted fault has had its say. *)
+
+val multiplier : state -> int -> float
+(** Current capacity multiplier of an entity: 0 for the NIC of a dead
+    server, the product of active degradation factors otherwise (1 when
+    unaffected). *)
+
+(** {2 Closed-loop repair} *)
+
+val closed_loop_repair :
+  S3_util.Prng.t -> S3_storage.Cluster.t -> deadline_factor:float ->
+  first_id:int -> now:float -> server:int -> S3_workload.Task.t list
+(** An [on_failure] hook for {!S3_sim.Engine.run} (partially applied up
+    to [first_id]): on each crash it fails the server in the live
+    cluster and emits one repair task per recoverable lost chunk via
+    {!S3_workload.Generator.repair_tasks_on_failure}, numbering tasks
+    from [first_id] upward without collisions across calls. The PRNG
+    picks repair destinations; pass a dedicated split so the stream is
+    reproducible. *)

@@ -2,6 +2,7 @@ module Task = S3_workload.Task
 module Topology = S3_net.Topology
 module Problem = S3_core.Problem
 module Algorithm = S3_core.Algorithm
+module Fault = S3_fault.Fault
 
 let src = Logs.Src.create "s3.engine" ~doc:"S3 scheduling engine"
 
@@ -26,6 +27,18 @@ type data_plane = {
 
 let ideal_data_plane = { control_latency = (fun () -> 0.); shape_rate = (fun ~flow_id:_ r -> r) }
 
+exception Invalid_selection of { task : int; server : int; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_selection { task; server; detail } ->
+      Some
+        (if server < 0 then Printf.sprintf "Engine.Invalid_selection(task %d): %s" task detail
+         else Printf.sprintf "Engine.Invalid_selection(task %d, server %d): %s" task server detail)
+    | _ -> None)
+
+let invalid task server detail = raise (Invalid_selection { task; server; detail })
+
 type live_flow = {
   flow_id : int;
   source : int;
@@ -44,17 +57,26 @@ type live_task = {
 let volume_epsilon = 1e-6  (* megabits; ~0.1 byte *)
 let time_epsilon = 1e-9
 
-let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event topo
-    (alg : Algorithm.t) tasks =
+let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
+    ?(faults = Fault.empty) ?on_failure topo (alg : Algorithm.t) tasks =
   let pending = Array.of_list (List.sort Task.compare_arrival tasks) in
-  Array.iter
-    (fun (t : Task.t) ->
-      let ok s = s >= 0 && s < Topology.servers topo in
-      if not (ok t.Task.destination && Array.for_all ok t.Task.sources) then
-        invalid_arg "Engine.run: task references servers outside the topology")
-    pending;
+  let validate_task (t : Task.t) =
+    let ok s = s >= 0 && s < Topology.servers topo in
+    if not (ok t.Task.destination && Array.for_all ok t.Task.sources) then
+      invalid_arg "Engine.run: task references servers outside the topology"
+  in
+  Array.iter validate_task pending;
   let fg = Foreground.create (S3_util.Prng.create config.seed) topo config.foreground in
+  let fstate = Fault.start topo faults in
   let nent = Array.length (Topology.entities topo) in
+  (* Fault-adjusted capacity: what the foreground process leaves over,
+     further scaled by dead-server / degraded-link multipliers. The
+     fault-free path keeps the raw closure so existing runs are
+     bit-identical. *)
+  let avail =
+    if Fault.is_empty faults then Foreground.available fg
+    else fun e -> Foreground.available fg e *. Fault.multiplier fstate e
+  in
   let entity_bits = Array.make nent 0. in
   let active = ref [] in  (* reverse arrival order *)
   let next_pending = ref 0 in
@@ -64,6 +86,29 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
   let plan_time = ref 0. and plan_calls = ref 0 in
   let frozen_until = ref 0. in  (* transfers paused until this time *)
   let events = ref 0 and clamp_events = ref 0 in
+  let flows_killed = ref 0 and tasks_rehomed = ref 0 and tasks_lost = ref 0 in
+  let wasted = ref 0. in
+  (* Closed-loop repair tasks injected mid-run, kept sorted by arrival;
+     [injected_all] accumulates every injection for the final report. *)
+  let injected = ref [] and injected_all = ref [] in
+  let known_ids = Hashtbl.create (Array.length pending * 2) in
+  Array.iter (fun (t : Task.t) -> Hashtbl.replace known_ids t.Task.id ()) pending;
+  let cmp_arrival (a : Task.t) (b : Task.t) =
+    match compare a.Task.arrival b.Task.arrival with 0 -> compare a.Task.id b.Task.id | c -> c
+  in
+  let inject ts =
+    if ts <> [] then begin
+      List.iter
+        (fun (t : Task.t) ->
+          validate_task t;
+          if Hashtbl.mem known_ids t.Task.id then
+            invalid_arg "Engine.run: injected task id collides with an existing task";
+          Hashtbl.replace known_ids t.Task.id ())
+        ts;
+      injected_all := ts @ !injected_all;
+      injected := List.merge cmp_arrival (List.sort cmp_arrival ts) !injected
+    end
+  in
   (* Incremental per-entity accounting, rebuilt once per recompute and
      maintained through clamping: usage.(e) = sum of rates of live
      flows whose route crosses e; flows_of.(e) = those flows. *)
@@ -87,7 +132,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
                    })
                  (live_flows lt))
     in
-    { Problem.now = !now; topo; flows; available = Foreground.available fg }
+    { Problem.now = !now; topo; flows; available = avail }
   in
   (* One pass over the live flows refreshes the usage/incidence
      tables; every later rate change goes through [scale_flow_rate] so
@@ -123,14 +168,13 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
     let pass () =
       let violated = ref false in
       for e = 0 to nent - 1 do
-        let avail = Foreground.available fg e in
-        if usage.(e) > avail +. 1e-6 then begin
+        let a = avail e in
+        if usage.(e) > a +. 1e-6 then begin
           violated := true;
           clamped := true;
           Log.warn (fun m ->
-              m "t=%.3f clamping entity %d: allocated %.3f > available %.3f" !now e usage.(e)
-                avail);
-          let scale = max 0. (avail /. usage.(e)) in
+              m "t=%.3f clamping entity %d: allocated %.3f > available %.3f" !now e usage.(e) a);
+          let scale = max 0. (a /. usage.(e)) in
           List.iter
             (fun f ->
               if f.rate > 0. && f.remaining > 0. then set_flow_rate f (f.rate *. scale))
@@ -189,48 +233,185 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
            else Array.fold_left (fun acc f -> acc +. max 0. f.remaining) 0. lt.lflows)
       }
   in
+  let record_lost_at_arrival (t : Task.t) =
+    Log.debug (fun m -> m "t=%.3f task#%d unrecoverable at arrival" !now t.Task.id);
+    Hashtbl.replace outcomes t.Task.id
+      { Metrics.task = t;
+        sources = [||];
+        completed = false;
+        finish_time = t.Task.deadline;
+        remaining = Task.total_volume t
+      };
+    incr tasks_lost
+  in
   let drop_flows lt =
     lt.resolved <- true;
     Array.iter
       (fun f ->
+        (* everything this abandoned task pulled is waste *)
+        wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
         f.rate <- 0.;
         f.remaining <- 0.)
       lt.lflows
   in
-  let spawn (t : Task.t) =
-    let view = make_view () in
-    let sources = alg.Algorithm.select_sources view t in
-    (* Validate: exactly k distinct candidates. *)
-    if Array.length sources <> t.Task.k then
-      failwith (Printf.sprintf "%s: selected %d sources, need %d" alg.Algorithm.name
-                  (Array.length sources) t.Task.k);
-    let candidate s = Array.exists (fun c -> c = s) t.Task.sources in
-    let seen = Hashtbl.create 8 in
+  (* A fault took this flow's endpoint: the partial fetch is useless
+     (a replacement, if any, restarts the chunk at full volume). *)
+  let kill_flow lt f =
+    wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
+    set_flow_rate f 0.;
+    f.remaining <- 0.;
+    incr flows_killed
+  in
+  (* The task can no longer finish: record the failure (with the
+     remaining volume still intact, so the metric sees it), stop every
+     in-flight fetch, and write off delivered chunks. *)
+  let lose lt =
+    Log.debug (fun m -> m "t=%.3f task#%d lost to a fault" !now lt.task.Task.id);
+    if not lt.failed then begin
+      record_outcome lt ~completed:false;
+      lt.failed <- true
+    end;
     Array.iter
-      (fun s ->
-        if not (candidate s) then
-          failwith (Printf.sprintf "%s: selected non-candidate source %d" alg.Algorithm.name s);
-        if Hashtbl.mem seen s then
-          failwith (Printf.sprintf "%s: duplicate source %d" alg.Algorithm.name s);
-        Hashtbl.replace seen s ())
-      sources;
-    let lflows =
-      Array.map
-        (fun source ->
-          let flow_id = !next_flow_id in
-          incr next_flow_id;
-          { flow_id;
-            source;
-            route = Topology.route_array topo ~src:source ~dst:t.Task.destination;
-            remaining = t.Task.volume;
-            rate = 0.
-          })
-        sources
-    in
-    Log.debug (fun m ->
-        m "t=%.3f spawn %a sources=[%s]" !now Task.pp t
-          (String.concat ";" (Array.to_list (Array.map string_of_int sources))));
-    active := { task = t; lflows; resolved = false; failed = false } :: !active
+      (fun f ->
+        if f.remaining > 0. then kill_flow lt f
+        else wasted := !wasted +. lt.task.Task.volume)
+      lt.lflows;
+    lt.resolved <- true;
+    incr tasks_lost
+  in
+  let spawn (t : Task.t) =
+    if Fault.dead fstate t.Task.destination then record_lost_at_arrival t
+    else begin
+      (* Crashed-and-recovered servers came back empty: their chunks are
+         gone, so they are never candidates again. *)
+      let candidates =
+        if Fault.is_empty faults then t.Task.sources
+        else
+          Array.of_list
+            (List.filter
+               (fun s -> not (Fault.ever_crashed fstate s))
+               (Array.to_list t.Task.sources))
+      in
+      if Array.length candidates < t.Task.k then record_lost_at_arrival t
+      else begin
+        let view = make_view () in
+        let t_sel =
+          if Array.length candidates = Array.length t.Task.sources then t
+          else { t with Task.sources = candidates }
+        in
+        let sources = alg.Algorithm.select_sources view t_sel in
+        (* Validate: exactly k distinct surviving candidates. *)
+        if Array.length sources <> t.Task.k then
+          invalid t.Task.id (-1)
+            (Printf.sprintf "%s selected %d sources, need %d" alg.Algorithm.name
+               (Array.length sources) t.Task.k);
+        let candidate s = Array.exists (fun c -> c = s) candidates in
+        let seen = Hashtbl.create 8 in
+        Array.iter
+          (fun s ->
+            if not (candidate s) then
+              invalid t.Task.id s (alg.Algorithm.name ^ " selected a non-candidate source");
+            if Hashtbl.mem seen s then
+              invalid t.Task.id s (alg.Algorithm.name ^ " selected a duplicate source");
+            Hashtbl.replace seen s ())
+          sources;
+        let lflows =
+          Array.map
+            (fun source ->
+              let flow_id = !next_flow_id in
+              incr next_flow_id;
+              { flow_id;
+                source;
+                route = Topology.route_array topo ~src:source ~dst:t.Task.destination;
+                remaining = t.Task.volume;
+                rate = 0.
+              })
+            sources
+        in
+        Log.debug (fun m ->
+            m "t=%.3f spawn %a sources=[%s]" !now Task.pp t
+              (String.concat ";" (Array.to_list (Array.map string_of_int sources))));
+        active := { task = t; lflows; resolved = false; failed = false } :: !active
+      end
+    end
+  in
+  (* React to a batch of servers that just died: lose tasks whose
+     destination went down; for tasks that lost sources, ask the
+     algorithm to re-home the affected subtasks onto surviving
+     candidates, or lose the task when that is impossible. The batch is
+     normalized first, so eligibility always reflects the end-of-batch
+     state (a crash-and-recover at one instant still loses the data). *)
+  let handle_crashes newly_crashed =
+    let crashed s = List.mem s newly_crashed in
+    List.iter
+      (fun lt ->
+        if not lt.resolved then begin
+          if crashed lt.task.Task.destination then lose lt
+          else begin
+            let dead_src f = f.remaining > 0. && crashed f.source in
+            if Array.exists dead_src lt.lflows then begin
+              let need =
+                Array.fold_left (fun n f -> if dead_src f then n + 1 else n) 0 lt.lflows
+              in
+              (* Surviving candidates not already serving (or having
+                 served) one of this task's chunks. *)
+              let used =
+                Array.to_list lt.lflows
+                |> List.filter_map (fun f -> if dead_src f then None else Some f.source)
+              in
+              let eligible =
+                Array.to_list lt.task.Task.sources
+                |> List.filter (fun s ->
+                       (not (Fault.ever_crashed fstate s)) && not (List.mem s used))
+                |> Array.of_list
+              in
+              match alg.Algorithm.reselect with
+              | Some reselect when Array.length eligible >= need ->
+                let slots = ref [] in
+                Array.iteri (fun i f -> if dead_src f then slots := i :: !slots) lt.lflows;
+                let slots = List.rev !slots in
+                List.iter (fun i -> kill_flow lt lt.lflows.(i)) slots;
+                let view = make_view () in
+                let repl = reselect view lt.task ~eligible ~need in
+                if Array.length repl <> need then
+                  invalid lt.task.Task.id (-1)
+                    (Printf.sprintf "%s reselected %d sources, need %d" alg.Algorithm.name
+                       (Array.length repl) need);
+                let seen = Hashtbl.create 8 in
+                Array.iter
+                  (fun s ->
+                    if not (Array.exists (fun c -> c = s) eligible) then
+                      invalid lt.task.Task.id s
+                        (alg.Algorithm.name ^ " reselected an ineligible source");
+                    if Hashtbl.mem seen s then
+                      invalid lt.task.Task.id s
+                        (alg.Algorithm.name ^ " reselected a duplicate source");
+                    Hashtbl.replace seen s ())
+                  repl;
+                List.iteri
+                  (fun j i ->
+                    let source = repl.(j) in
+                    let flow_id = !next_flow_id in
+                    incr next_flow_id;
+                    lt.lflows.(i) <-
+                      { flow_id;
+                        source;
+                        route =
+                          Topology.route_array topo ~src:source ~dst:lt.task.Task.destination;
+                        remaining = lt.task.Task.volume;
+                        rate = 0.
+                      })
+                  slots;
+                incr tasks_rehomed;
+                Log.debug (fun m ->
+                    m "t=%.3f task#%d re-homed %d subtask(s) onto [%s]" !now lt.task.Task.id
+                      need
+                      (String.concat ";" (Array.to_list (Array.map string_of_int repl))))
+              | _ -> lose lt
+            end
+          end
+        end)
+      !active
   in
   let moved_total = ref 0. in
   (* Transfer over [now, now+dt), minus any initial frozen span. *)
@@ -259,7 +440,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
       if !next_pending < Array.length pending then pending.(!next_pending).Task.arrival
       else infinity
     in
-    let t_fg = Foreground.next_change fg in
+    let t_arr =
+      match !injected with [] -> t_arr | t :: _ -> min t_arr t.Task.arrival
+    in
+    let t_fg = min (Foreground.next_change fg) (Fault.next_change fstate) in
     let t_dl, t_cmp =
       List.fold_left
         (fun (dl, cmp) lt ->
@@ -283,8 +467,16 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
   in
   let stalls = ref 0 in
   let unresolved () = List.exists (fun lt -> not lt.resolved) !active in
+  (* With a closed-loop repair hook the run outlives the workload: a
+     crash after the last task still generates repair traffic. *)
+  let work_remains () =
+    unresolved ()
+    || !next_pending < Array.length pending
+    || !injected <> []
+    || (Option.is_some on_failure && not (Fault.exhausted fstate))
+  in
   recompute ();
-  while unresolved () || !next_pending < Array.length pending do
+  while work_remains () do
     let t_next = next_event_time () in
     if not (Float.is_finite t_next) then
       failwith "Engine.run: no future event but tasks remain";
@@ -302,8 +494,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
             lt.lflows;
           if Array.for_all (fun f -> f.remaining <= 0.) lt.lflows then begin
             (* A task that already failed keeps its failure outcome even
-               if a deadline-blind heuristic finishes it later. *)
-            if not lt.failed then record_outcome lt ~completed:true;
+               if a deadline-blind heuristic finishes it later — and the
+               volume it pulled past the deadline is pure waste. *)
+            if not lt.failed then record_outcome lt ~completed:true
+            else wasted := !wasted +. Task.total_volume lt.task;
             lt.resolved <- true;
             incr processed
           end
@@ -323,6 +517,21 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
           incr processed
         end)
       !active;
+    (* Faults due now: normalize the whole batch, then kill / re-home /
+       lose, then let the repair hook answer each crash. *)
+    (match Fault.advance fstate !now with
+     | [] -> ()
+     | changes ->
+       incr processed;
+       let newly_crashed =
+         List.filter_map (function Fault.Crashed s -> Some s | _ -> None) changes
+       in
+       if newly_crashed <> [] then begin
+         handle_crashes newly_crashed;
+         match on_failure with
+         | None -> ()
+         | Some hook -> List.iter (fun s -> inject (hook ~now:!now ~server:s)) newly_crashed
+       end);
     (* Arrivals: gather the batch due now and present it in static-slack
        order — the batch analogue of Phase II's urgency ranking, so a
        congestion-aware Phase I sees the most constrained task's flows
@@ -336,6 +545,16 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
       incr next_pending;
       incr processed
     done;
+    let rec drain_injected () =
+      match !injected with
+      | t :: rest when t.Task.arrival <= !now +. time_epsilon ->
+        injected := rest;
+        batch := t :: !batch;
+        incr processed;
+        drain_injected ()
+      | _ -> ()
+    in
+    drain_injected ();
     let static_slack (t : Task.t) =
       let dest_cap =
         (Topology.entity topo (Topology.server_entity topo t.Task.destination))
@@ -362,20 +581,25 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event to
       util_sum := !util_sum +. (bits /. (raw *. horizon)))
     entity_bits;
   let outcomes_list =
-    Array.to_list pending
+    Array.to_list pending @ List.rev !injected_all
     |> List.sort (fun (a : Task.t) b -> compare a.Task.id b.Task.id)
     (* lint: allow partial-stdlib — the main loop runs until every
-       pending task has been recorded: each task ends in exactly one of
-       resolve/expire/fail, and all three write [outcomes] *)
+       pending or injected task has been recorded: each task ends in
+       exactly one of resolve/expire/fail/lose, and all four write
+       [outcomes] *)
     |> List.map (fun (t : Task.t) -> Hashtbl.find outcomes t.Task.id)
   in
   { Metrics.algorithm = alg.Algorithm.name;
     outcomes = outcomes_list;
     horizon;
     transferred = !moved_total;
+    wasted = !wasted;
     utilization = (if nent = 0 then 0. else !util_sum /. float_of_int nent);
     plan_time = !plan_time;
     plan_calls = !plan_calls;
     events = !events;
-    clamp_events = !clamp_events
+    clamp_events = !clamp_events;
+    flows_killed = !flows_killed;
+    tasks_rehomed = !tasks_rehomed;
+    tasks_lost = !tasks_lost
   }

@@ -14,7 +14,18 @@
     The engine trusts but verifies: allocations exceeding available
     capacity on an entity are scaled back proportionally and the
     incident is counted in [clamp_events] (always 0 for the shipped
-    algorithms — the tests assert this). *)
+    algorithms — the tests assert this).
+
+    A {!S3_fault.Fault.t} plan adds a fifth event kind. When a server
+    dies the engine kills every flow it was sourcing or sinking, then
+    for each surviving task asks the algorithm's
+    {!S3_core.Algorithm.t.reselect} hook to re-home the lost subtasks
+    onto surviving candidate sources; a task whose destination died,
+    whose surviving candidates cannot cover [k], or whose algorithm has
+    no hook, is lost on the spot. Degradations scale entity capacity in
+    both the algorithm's view and the clamp check, so well-behaved
+    algorithms still never clamp. All of it is deterministic: the same
+    seed, plan and workload replay to the same {!Report.fingerprint}. *)
 
 type config = {
   foreground : Foreground.config;
@@ -38,10 +49,18 @@ type data_plane = {
 val ideal_data_plane : data_plane
 (** No latency, rates applied exactly (the simulator of §5.1). *)
 
+exception Invalid_selection of { task : int; server : int; detail : string }
+(** The algorithm returned an unusable source selection (wrong count,
+    a non-candidate, a duplicate) at spawn or re-selection time.
+    [server] is the offending server, or [-1] when the problem is not
+    tied to one (a count mismatch). *)
+
 val run :
   ?config:config ->
   ?data_plane:data_plane ->
   ?on_event:(float -> S3_core.Problem.view -> S3_core.Allocation.rates -> unit) ->
+  ?faults:S3_fault.Fault.t ->
+  ?on_failure:(now:float -> server:int -> Metrics.Task.t list) ->
   S3_net.Topology.t ->
   S3_core.Algorithm.t ->
   Metrics.Task.t list ->
@@ -49,5 +68,15 @@ val run :
 (** Execute to quiescence and report. [on_event] observes every
     post-recomputation state (used by the Table 2 walkthrough). Tasks
     may be given in any order; destinations and sources must be valid
-    servers of the topology. Raises [Failure] if the algorithm returns
-    an invalid source selection. *)
+    servers of the topology. Raises {!Invalid_selection} if the
+    algorithm returns an invalid source selection.
+
+    [faults] (default {!S3_fault.Fault.empty}) is played into the run
+    as described above. [on_failure] is consulted once per server
+    crash, {e after} kill / re-home processing, and may return
+    closed-loop repair tasks, which are injected as ordinary arrivals
+    (their ids must not collide with existing tasks — that raises
+    [Invalid_argument]); {!S3_fault.Fault.closed_loop_repair} is the
+    intended implementation. With a hook installed the run keeps going
+    until the fault script is exhausted, so late crashes still spawn
+    their repair traffic. *)

@@ -14,11 +14,15 @@ type run = {
   outcomes : outcome list;
   horizon : float;
   transferred : float;
+  wasted : float;
   utilization : float;
   plan_time : float;
   plan_calls : int;
   events : int;
   clamp_events : int;
+  flows_killed : int;
+  tasks_rehomed : int;
+  tasks_lost : int;
 }
 
 let completed r = List.length (List.filter (fun o -> o.completed) r.outcomes)

@@ -18,12 +18,33 @@ type run = {
   outcomes : outcome list;  (** one per task, in task order *)
   horizon : float;  (** time the last task resolved *)
   transferred : float;  (** total megabits moved (all flows) *)
+  wasted : float;
+      (** megabits moved that ended up useless: partial fetches of
+          fault-killed flows, chunks delivered to tasks later lost to a
+          failure, and everything transferred into a task its algorithm
+          abandoned (or, for deadline-blind heuristics, finished) after
+          the deadline. For admission-control algorithms every
+          transferred megabit is either part of a task completed on
+          time or wasted, so [transferred] equals the summed total
+          volume of completed tasks plus [wasted] — the conservation
+          law the chaos tests pin. *)
   utilization : float;  (** mean over entities of bits moved / (raw capacity x horizon) *)
   plan_time : float;  (** CPU seconds spent inside the algorithm's allocate *)
   plan_calls : int;
   events : int;  (** scheduling events processed *)
   clamp_events : int;  (** allocations the engine had to scale down to
                            fit capacity — 0 for well-behaved algorithms *)
+  flows_killed : int;
+      (** flows stopped because a fault removed their source or
+          destination (replacement fetches spawn fresh flows) *)
+  tasks_rehomed : int;
+      (** fault-surviving tasks whose dead sources were replaced via
+          the algorithm's [reselect] hook (counted once per re-homing
+          event, so a twice-struck task counts twice) *)
+  tasks_lost : int;
+      (** tasks made unrecoverable by faults: destination died, fewer
+          surviving candidate sources than [k], or the algorithm has no
+          [reselect] hook *)
 }
 
 val completed : run -> int

@@ -20,16 +20,17 @@ let comparison_table runs =
 
 let csv_of_runs runs =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "algorithm,completed,total,remaining_gb,utilization,horizon_s,plan_ms,events\n";
+  Buffer.add_string buf
+    "algorithm,completed,total,remaining_gb,utilization,horizon_s,plan_ms,events,flows_killed,tasks_rehomed,tasks_lost\n";
   List.iter
     (fun (r : Metrics.run) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%.4f,%.6f,%.3f,%.4f,%d\n" r.Metrics.algorithm
+        (Printf.sprintf "%s,%d,%d,%.4f,%.6f,%.3f,%.4f,%d,%d,%d,%d\n" r.Metrics.algorithm
            (Metrics.completed r)
            (List.length r.Metrics.outcomes)
            (Metrics.remaining_volume_gb r) r.Metrics.utilization r.Metrics.horizon
            (1000. *. Metrics.mean_plan_time r)
-           r.Metrics.events))
+           r.Metrics.events r.Metrics.flows_killed r.Metrics.tasks_rehomed r.Metrics.tasks_lost))
     runs;
   Buffer.contents buf
 
@@ -82,6 +83,10 @@ let fingerprint (r : Metrics.run) =
   it r.Metrics.plan_calls;
   it r.Metrics.events;
   it r.Metrics.clamp_events;
+  it r.Metrics.flows_killed;
+  it r.Metrics.tasks_rehomed;
+  it r.Metrics.tasks_lost;
+  fl r.Metrics.wasted;
   List.iter
     (fun (o : Metrics.outcome) ->
       it o.Metrics.task.Task.id;

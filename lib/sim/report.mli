@@ -10,7 +10,8 @@ val comparison_table : Metrics.run list -> string
 val csv_of_runs : Metrics.run list -> string
 (** One row per run:
     [algorithm,completed,total,remaining_gb,utilization,horizon_s,
-    plan_ms,events]. Header included; floats in fixed notation. *)
+    plan_ms,events,flows_killed,tasks_rehomed,tasks_lost]. Header
+    included; floats in fixed notation. *)
 
 val csv_of_outcomes : Metrics.run -> string
 (** One row per task:
@@ -23,9 +24,9 @@ val speedup : baseline:Metrics.run -> Metrics.run -> float
 
 val fingerprint : Metrics.run -> string
 (** Hex digest of a canonical, timing-free serialization of the run:
-    algorithm, horizon, transferred volume, utilization, plan calls,
-    event counts and every per-task outcome (floats rendered
-    round-trip exact), but {e not} [plan_time], which is CPU time and
-    varies run to run. Two runs of the same scenario fingerprint
+    algorithm, horizon, transferred and wasted volume, utilization,
+    plan calls, event / clamp / fault counters and every per-task
+    outcome (floats rendered round-trip exact), but {e not}
+    [plan_time], which is CPU time and varies run to run. Two runs of the same scenario fingerprint
     identically no matter how many domains executed the sweep around
     them — the determinism check for {!S3_par.Sweep}. *)

@@ -1,0 +1,519 @@
+(* Deterministic fault injection: plan parsing and cursor semantics,
+   pinned golden fault scenarios, re-homing vs the no-reselection
+   baseline, Invalid_selection, closed-loop repair, and a seeded chaos
+   campaign checking machine-verified invariants across every shipped
+   algorithm. Every QCheck input is a PRNG seed, so a failure prints
+   the exact integer needed to replay it. *)
+
+module Engine = S3_sim.Engine
+module Metrics = S3_sim.Metrics
+module Report = S3_sim.Report
+module Fault = S3_fault.Fault
+module Registry = S3_core.Registry
+module Algorithm = S3_core.Algorithm
+module Problem = S3_core.Problem
+module Generator = S3_workload.Generator
+module Task = S3_workload.Task
+module Cluster = S3_storage.Cluster
+module T = S3_net.Topology
+module Prng = S3_util.Prng
+module Sweep = S3_par.Sweep
+
+let tc = Alcotest.test_case
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+let topo = Helpers.topo  (* two-tier, 3 racks x 3 servers, cst 1000, cta 3000 *)
+
+let crash_at time s = Fault.plan [ { Fault.time; kind = Fault.Server_crash s } ]
+
+(* The fig. 5-style setup used across the acceptance tests: a 30-server
+   two-tier fabric under a (9,6)-coded background workload. *)
+let fig5_workload seed =
+  let big = T.two_tier ~racks:3 ~servers_per_rack:10 ~cst:500. ~cta:1500. in
+  let tasks =
+    Generator.generate (Prng.create seed) big
+      { Generator.num_tasks = 60;
+        arrival_rate = 0.8;
+        chunk_size_mb = 64.;
+        code_mix = [ ((9, 6), 1.) ];
+        deadline_factor = 10.;
+        deadline_jitter = 0.4;
+        placement = S3_storage.Placement.Rack_aware
+      }
+  in
+  (big, tasks)
+
+(* ---- plans: parsing, validation, the cursor ---- *)
+
+let test_spec_roundtrip () =
+  match Fault.of_string "crash@30:5,degrade@10:3:0.5:20,recover@60:5,rack@45:1" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Alcotest.(check string) "time-sorted round trip"
+      "degrade@10:3:0.5:20,crash@30:5,rack@45:1,recover@60:5" (Fault.to_string plan);
+    (match Fault.of_string (Fault.to_string plan) with
+     | Ok again ->
+       Alcotest.(check string) "stable" (Fault.to_string plan) (Fault.to_string again)
+     | Error e -> Alcotest.fail e)
+
+let test_spec_rejects_malformed () =
+  List.iter
+    (fun spec ->
+      match Fault.of_string spec with
+      | Ok _ -> Alcotest.failf "%S should not parse" spec
+      | Error _ -> ())
+    [ "crash@-1:0";  (* negative time *)
+      "degrade@1:0:1.5:5";  (* factor > 1 *)
+      "degrade@1:0:0.5:0";  (* zero duration *)
+      "crash@x:0";
+      "boom@1:2";
+      "crash@1"
+    ]
+
+let test_plan_validation () =
+  Alcotest.check_raises "degradation factor"
+    (Invalid_argument "Fault.plan: degradation factor must lie in [0, 1]") (fun () ->
+      ignore
+        (Fault.plan
+           [ { Fault.time = 1.; kind = Fault.Link_degrade { entity = 0; factor = 2.; duration = 1. } } ]));
+  Alcotest.check_raises "index checked against the topology"
+    (Invalid_argument "Fault.start: server outside the topology") (fun () ->
+      ignore (Fault.start topo (crash_at 1. 99)))
+
+let test_cursor_semantics () =
+  let plan =
+    Fault.plan
+      [ { Fault.time = 1.; kind = Fault.Server_crash 1 };
+        { Fault.time = 2.; kind = Fault.Link_degrade { entity = 0; factor = 0.5; duration = 2. } };
+        { Fault.time = 3.; kind = Fault.Server_recover 1 };
+        { Fault.time = 5.; kind = Fault.Rack_outage 0 }
+      ]
+  in
+  let st = Fault.start topo plan in
+  Alcotest.(check bool) "starts alive" false (Fault.dead st 1);
+  checkf "first change" 1. (Fault.next_change st);
+  (match Fault.advance st 1. with
+   | [ Fault.Crashed 1 ] -> ()
+   | _ -> Alcotest.fail "expected exactly [Crashed 1]");
+  Alcotest.(check bool) "dead now" true (Fault.dead st 1);
+  checkf "dead NIC contributes nothing" 0. (Fault.multiplier st (T.server_entity topo 1));
+  (match Fault.advance st 2. with
+   | [ Fault.Degraded 0 ] -> ()
+   | _ -> Alcotest.fail "expected [Degraded 0]");
+  checkf "degraded capacity" 0.5 (Fault.multiplier st 0);
+  (match Fault.advance st 3. with
+   | [ Fault.Recovered 1 ] -> ()
+   | _ -> Alcotest.fail "expected [Recovered 1]");
+  Alcotest.(check bool) "alive again" false (Fault.dead st 1);
+  Alcotest.(check bool) "but remembered" true (Fault.ever_crashed st 1);
+  checkf "expiry is a change point" 4. (Fault.next_change st);
+  (match Fault.advance st 4. with
+   | [ Fault.Restored 0 ] -> ()
+   | _ -> Alcotest.fail "expected [Restored 0]");
+  checkf "capacity restored" 1. (Fault.multiplier st 0);
+  let crashed =
+    Fault.advance st 5.
+    |> List.filter_map (function Fault.Crashed s -> Some s | _ -> None)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "rack outage kills every live server of the rack" [ 0; 1; 2 ]
+    crashed;
+  Alcotest.(check bool) "script exhausted" true (Fault.exhausted st);
+  (* second crash of a dead server is a no-op *)
+  let st2 = Fault.start topo (Fault.plan [ { Fault.time = 1.; kind = Fault.Server_crash 0 };
+                                           { Fault.time = 2.; kind = Fault.Server_crash 0 } ]) in
+  ignore (Fault.advance st2 1.);
+  Alcotest.(check int) "re-crash reports nothing" 0 (List.length (Fault.advance st2 2.))
+
+let test_degradations_compound () =
+  let plan =
+    Fault.plan
+      [ { Fault.time = 0.; kind = Fault.Link_degrade { entity = 0; factor = 0.5; duration = 10. } };
+        { Fault.time = 1.; kind = Fault.Link_degrade { entity = 0; factor = 0.4; duration = 1. } }
+      ]
+  in
+  let st = Fault.start topo plan in
+  ignore (Fault.advance st 0.);
+  checkf "one degradation" 0.5 (Fault.multiplier st 0);
+  ignore (Fault.advance st 1.);
+  checkf "overlap multiplies" 0.2 (Fault.multiplier st 0);
+  ignore (Fault.advance st 2.);
+  checkf "inner expiry restores its factor" 0.5 (Fault.multiplier st 0)
+
+let test_random_plan_deterministic () =
+  let mk seed =
+    Fault.to_string
+      (Fault.random (Prng.create seed) topo ~horizon:100. ~crashes:2 ~rack_outages:1
+         ~degradations:2 ())
+  in
+  Alcotest.(check string) "equal seeds, equal plans" (mk 42) (mk 42);
+  Alcotest.(check bool) "different seeds differ" true (mk 42 <> mk 43)
+
+(* ---- golden fault scenarios (pinned numbers) ----
+
+   Helpers.topo routes server 1 -> server 0 inside one rack over two
+   1000 Mb/s NICs, so an unimpeded 1000 Mb chunk takes exactly 1 s. *)
+
+let one_task ?(sources = [| 1; 2 |]) () =
+  Task.v ~id:0 ~arrival:0. ~deadline:10. ~volume:1000. ~k:1 ~sources ~destination:0 ()
+
+let test_golden_rehome () =
+  (* Source dies halfway: LPST re-homes the chunk onto the survivor and
+     restarts it at full volume — 500 Mb moved then thrown away, the
+     replacement finishes at 0.5 + 1.0. *)
+  let run = Engine.run ~faults:(crash_at 0.5 1) topo (Registry.make "lpst") [ one_task () ] in
+  Alcotest.(check int) "completed" 1 (Metrics.completed run);
+  let o = List.hd run.Metrics.outcomes in
+  checkf "restart finishes at 1.5" 1.5 o.Metrics.finish_time;
+  Alcotest.(check (array int)) "final source is the survivor" [| 2 |] o.Metrics.sources;
+  checkf "transferred counts both fetches" 1500. run.Metrics.transferred;
+  checkf "the partial fetch is waste" 500. run.Metrics.wasted;
+  Alcotest.(check int) "one flow killed" 1 run.Metrics.flows_killed;
+  Alcotest.(check int) "one re-homing" 1 run.Metrics.tasks_rehomed;
+  Alcotest.(check int) "nothing lost" 0 run.Metrics.tasks_lost;
+  Alcotest.(check int) "no clamping" 0 run.Metrics.clamp_events
+
+let test_golden_unrecoverable () =
+  (* Only candidate dies halfway: the task is lost with 500 Mb still
+     owed, and everything moved was for nothing. *)
+  let run =
+    Engine.run ~faults:(crash_at 0.5 1) topo (Registry.make "lpst")
+      [ one_task ~sources:[| 1 |] () ]
+  in
+  Alcotest.(check int) "completed" 0 (Metrics.completed run);
+  let o = List.hd run.Metrics.outcomes in
+  checkf "remaining captured at the loss" 500. o.Metrics.remaining;
+  checkf "transferred" 500. run.Metrics.transferred;
+  checkf "all of it wasted" 500. run.Metrics.wasted;
+  Alcotest.(check int) "killed" 1 run.Metrics.flows_killed;
+  Alcotest.(check int) "lost" 1 run.Metrics.tasks_lost;
+  Alcotest.(check int) "no re-homing possible" 0 run.Metrics.tasks_rehomed
+
+let test_destination_crash_loses_task () =
+  let run = Engine.run ~faults:(crash_at 0.5 0) topo (Registry.make "lpst") [ one_task () ] in
+  Alcotest.(check int) "completed" 0 (Metrics.completed run);
+  Alcotest.(check int) "lost" 1 run.Metrics.tasks_lost;
+  checkf "partial write wasted" 500. run.Metrics.wasted
+
+let test_dead_destination_at_arrival () =
+  let late = Task.v ~id:1 ~arrival:2. ~deadline:12. ~volume:1000. ~k:1 ~sources:[| 1 |]
+      ~destination:0 () in
+  let run = Engine.run ~faults:(crash_at 0.5 0) topo (Registry.make "lpst") [ late ] in
+  Alcotest.(check int) "lost on arrival" 1 run.Metrics.tasks_lost;
+  let o = List.hd run.Metrics.outcomes in
+  checkf "whole volume stranded" 1000. o.Metrics.remaining;
+  checkf "nothing moved" 0. run.Metrics.transferred
+
+let test_recovered_server_is_no_source () =
+  (* Server 1 crashes and returns before the task arrives: it is a
+     valid destination again but its chunk is gone, so selection must
+     take the survivor. *)
+  let faults =
+    Fault.plan
+      [ { Fault.time = 0.1; kind = Fault.Server_crash 1 };
+        { Fault.time = 0.2; kind = Fault.Server_recover 1 }
+      ]
+  in
+  let task = Task.v ~id:0 ~arrival:0.3 ~deadline:10. ~volume:1000. ~k:1 ~sources:[| 1; 2 |]
+      ~destination:0 () in
+  let run = Engine.run ~faults topo (Registry.make "lpst") [ task ] in
+  Alcotest.(check int) "completed" 1 (Metrics.completed run);
+  let o = List.hd run.Metrics.outcomes in
+  Alcotest.(check (array int)) "survivor chosen" [| 2 |] o.Metrics.sources;
+  (* ... and the recovered server can sink new traffic *)
+  let into_revived = Task.v ~id:1 ~arrival:0.3 ~deadline:10. ~volume:1000. ~k:1
+      ~sources:[| 2 |] ~destination:1 () in
+  let run2 = Engine.run ~faults topo (Registry.make "lpst") [ into_revived ] in
+  Alcotest.(check int) "recovered destination works" 1 (Metrics.completed run2)
+
+let test_golden_degradation () =
+  (* The source NIC at half capacity for the whole transfer: 1000 Mb at
+     500 Mb/s finishes at 2 s, and nothing ever needs clamping. *)
+  let faults =
+    Fault.plan
+      [ { Fault.time = 0.;
+          kind = Fault.Link_degrade { entity = T.server_entity topo 1; factor = 0.5; duration = 10. }
+        }
+      ]
+  in
+  let run = Engine.run ~faults topo (Registry.make "lpst") [ one_task ~sources:[| 1 |] () ] in
+  Alcotest.(check int) "completed" 1 (Metrics.completed run);
+  checkf "half rate doubles the transfer" 2. (List.hd run.Metrics.outcomes).Metrics.finish_time;
+  Alcotest.(check int) "no clamping" 0 run.Metrics.clamp_events;
+  checkf "nothing wasted" 0. run.Metrics.wasted
+
+let test_empty_plan_is_identity () =
+  let big, tasks = fig5_workload 3 in
+  let plain = Engine.run big (Registry.make "lpst") tasks in
+  let with_empty = Engine.run ~faults:Fault.empty big (Registry.make "lpst") tasks in
+  Alcotest.(check string) "byte-identical run" (Report.fingerprint plain)
+    (Report.fingerprint with_empty)
+
+(* ---- the acceptance demo: re-homing beats freezing ---- *)
+
+let test_rehoming_beats_no_reselection () =
+  let big, tasks = fig5_workload 3 in
+  let faults = crash_at 30. 5 in
+  let lpst = Registry.make "lpst" in
+  let frozen = { lpst with Algorithm.name = "LPST-frozen"; reselect = None } in
+  let with_r = Engine.run ~faults big lpst tasks in
+  let without = Engine.run ~faults big frozen tasks in
+  Alcotest.(check bool) "the crash actually bites" true (with_r.Metrics.flows_killed > 0);
+  Alcotest.(check bool) "subtasks were re-homed" true (with_r.Metrics.tasks_rehomed > 0);
+  Alcotest.(check int) "frozen baseline re-homes nothing" 0 without.Metrics.tasks_rehomed;
+  Alcotest.(check bool) "frozen baseline loses struck tasks" true
+    (without.Metrics.tasks_lost > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "re-homing completes strictly more tasks (%d vs %d)"
+       (Metrics.completed with_r) (Metrics.completed without))
+    true
+    (Metrics.completed with_r > Metrics.completed without)
+
+(* ---- Invalid_selection ---- *)
+
+let silent_alg select =
+  { Algorithm.name = "broken";
+    select_sources = select;
+    allocate = (fun _ -> []);
+    abandon_expired = false;
+    reselect = None
+  }
+
+let expect_invalid ~task ~server f =
+  match f () with
+  | (_ : Metrics.run) -> Alcotest.fail "expected Invalid_selection"
+  | exception Engine.Invalid_selection i ->
+    Alcotest.(check int) "task id" task i.task;
+    Alcotest.(check int) "server" server i.server
+
+let test_invalid_selection () =
+  let two = Task.v ~id:7 ~arrival:0. ~deadline:10. ~volume:100. ~k:2 ~sources:[| 1; 2; 3 |]
+      ~destination:0 () in
+  (* wrong count *)
+  expect_invalid ~task:7 ~server:(-1) (fun () ->
+      Engine.run topo (silent_alg (fun _ _ -> [||])) [ two ]);
+  (* duplicate *)
+  expect_invalid ~task:7 ~server:1 (fun () ->
+      Engine.run topo (silent_alg (fun _ _ -> [| 1; 1 |])) [ two ]);
+  (* non-candidate *)
+  expect_invalid ~task:7 ~server:0 (fun () ->
+      Engine.run topo (silent_alg (fun _ _ -> [| 0; 1 |])) [ two ])
+
+let test_invalid_reselection () =
+  (* A reselect hook that hands back the dead server is caught. *)
+  let lpst = Registry.make "lpst" in
+  let bad =
+    { lpst with
+      Algorithm.name = "bad-reselect";
+      reselect = Some (fun _ _ ~eligible:_ ~need -> Array.make need 1)
+    }
+  in
+  expect_invalid ~task:0 ~server:1 (fun () ->
+      Engine.run ~faults:(crash_at 0.5 1) topo bad [ one_task () ])
+
+let test_injected_id_collision_rejected () =
+  let hook ~now ~server:_ =
+    [ Task.v ~id:0 ~arrival:now ~deadline:(now +. 10.) ~volume:10. ~k:1 ~sources:[| 2 |]
+        ~destination:0 ()
+    ]
+  in
+  match Engine.run ~faults:(crash_at 0.5 1) ~on_failure:hook topo (Registry.make "lpst")
+          [ one_task () ]
+  with
+  | (_ : Metrics.run) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ---- closed-loop repair ---- *)
+
+let repair_fixture () =
+  let big = T.two_tier ~racks:3 ~servers_per_rack:10 ~cst:500. ~cta:1500. in
+  let cluster = Cluster.create big in
+  let g = Prng.create 5 in
+  for _ = 1 to 40 do
+    ignore (Cluster.add_file cluster g ~n:9 ~k:6 ~chunk_volume:512. ())
+  done;
+  (big, cluster)
+
+let test_closed_loop_repair () =
+  let big, cluster = repair_fixture () in
+  let lost = List.length (Cluster.chunks_on cluster 3) in
+  Alcotest.(check bool) "fixture stores chunks on the victim" true (lost > 0);
+  let repair =
+    Fault.closed_loop_repair (Prng.create 17) cluster ~deadline_factor:10. ~first_id:1000
+  in
+  (* No background workload at all: the crash itself generates the
+     repair traffic, and the engine keeps running to drain it. *)
+  let run = Engine.run ~faults:(crash_at 10. 3) ~on_failure:repair big (Registry.make "lpst") [] in
+  Alcotest.(check int) "one repair task per recoverable lost chunk" lost
+    (List.length run.Metrics.outcomes);
+  Alcotest.(check int) "idle cluster repairs everything in time" lost (Metrics.completed run);
+  List.iter
+    (fun (o : Metrics.outcome) ->
+      let t = o.Metrics.task in
+      Alcotest.(check bool) "repair reads only survivors" false
+        (Array.exists (( = ) 3) t.Task.sources || t.Task.destination = 3);
+      Alcotest.(check bool) "repair ids start at first_id" true (t.Task.id >= 1000))
+    run.Metrics.outcomes
+
+let test_closed_loop_repair_deterministic () =
+  let fingerprint () =
+    let big, cluster = repair_fixture () in
+    let repair =
+      Fault.closed_loop_repair (Prng.create 17) cluster ~deadline_factor:10. ~first_id:1000
+    in
+    Report.fingerprint
+      (Engine.run ~faults:(crash_at 10. 3) ~on_failure:repair big (Registry.make "lpst") [])
+  in
+  Alcotest.(check string) "replay is byte-identical" (fingerprint ()) (fingerprint ())
+
+(* ---- the chaos campaign ---- *)
+
+let chaos_algorithms = [ "fifo"; "disfifo"; "edf"; "disedf"; "lstf"; "lpall"; "lpst" ]
+
+(* Scenario, workload and fault plan all derived from one integer. *)
+let chaos_scenario seed =
+  let g = Prng.create seed in
+  let topo =
+    T.two_tier
+      ~racks:(2 + Prng.int g 2)
+      ~servers_per_rack:(4 + Prng.int g 5)
+      ~cst:(200. +. Prng.float g 800.)
+      ~cta:(600. +. Prng.float g 2000.)
+  in
+  let code = if T.servers topo > 9 then (9, 6) else (4, 2) in
+  let tasks =
+    Generator.generate g topo
+      { Generator.num_tasks = 5 + Prng.int g 20;
+        arrival_rate = 0.1 +. Prng.float g 1.0;
+        chunk_size_mb = 4. +. Prng.float g 48.;
+        code_mix = [ (code, 1.) ];
+        deadline_factor = 3. +. Prng.float g 8.;
+        deadline_jitter = Prng.float g 0.5;
+        placement = S3_storage.Placement.Flat_uniform
+      }
+  in
+  let horizon =
+    List.fold_left (fun acc (t : Task.t) -> max acc t.Task.deadline) 10. tasks
+  in
+  let faults =
+    Fault.random (Prng.create (seed + 1)) topo ~horizon
+      ~crashes:(1 + Prng.int g 3)
+      ~rack_outages:(Prng.int g 2)
+      ~degradations:(1 + Prng.int g 3)
+      ()
+  in
+  (topo, tasks, faults)
+
+(* Run one algorithm under one fault plan and check every invariant the
+   chaos suite guarantees; returns None on success, Some reason on the
+   first violation. *)
+let chaos_violation name seed =
+  let topo, tasks, faults = chaos_scenario seed in
+  let replay = Fault.start topo faults in
+  let last_t = ref neg_infinity in
+  let bad = ref None in
+  let note reason = if !bad = None then bad := Some reason in
+  let hook now (view : Problem.view) _rates =
+    if now < !last_t -. 1e-9 then note "clock went backwards";
+    last_t := max !last_t now;
+    ignore (Fault.advance replay now);
+    List.iter
+      (fun (f : Problem.flow) ->
+        if Fault.ever_crashed replay f.Problem.source then
+          note "live flow reads a crashed server";
+        if Fault.dead replay f.Problem.task.Task.destination then
+          note "live flow writes a dead server")
+      view.Problem.flows
+  in
+  let run = Engine.run ~on_event:hook ~faults topo (Registry.make name) tasks in
+  if run.Metrics.clamp_events <> 0 then note "capacity clamped";
+  if List.length run.Metrics.outcomes <> List.length tasks then note "outcome count";
+  List.iter
+    (fun (o : Metrics.outcome) ->
+      if o.Metrics.completed && o.Metrics.finish_time > o.Metrics.task.Task.deadline +. 1e-6
+      then note "completion after deadline";
+      if (not o.Metrics.completed) && o.Metrics.remaining <= 0. then
+        note "failure strands no volume";
+      if o.Metrics.remaining > Task.total_volume o.Metrics.task +. 1e-6 then
+        note "remaining exceeds the task")
+    run.Metrics.outcomes;
+  (* Conservation: every megabit moved is either part of a task that
+     completed on time or accounted as waste. *)
+  let useful =
+    List.fold_left
+      (fun acc (o : Metrics.outcome) ->
+        if o.Metrics.completed then acc +. Task.total_volume o.Metrics.task else acc)
+      0. run.Metrics.outcomes
+  in
+  let drift = Float.abs (run.Metrics.transferred -. (useful +. run.Metrics.wasted)) in
+  if drift > 1e-6 *. Float.max 1. run.Metrics.transferred +. 1e-3 then
+    note
+      (Printf.sprintf "conservation: moved %.3f <> useful %.3f + wasted %.3f"
+         run.Metrics.transferred useful run.Metrics.wasted);
+  if run.Metrics.flows_killed < run.Metrics.tasks_rehomed then
+    note "re-homing without a killed flow";
+  !bad
+
+let qcheck =
+  let open QCheck in
+  let seed = int_range 0 1_000_000 in
+  let alg_and_seed = pair (oneofl chaos_algorithms) seed in
+  [ Test.make ~name:"chaos: all invariants hold for every algorithm" ~count:240 alg_and_seed
+      (fun (name, seed) ->
+        match chaos_violation name seed with
+        | None -> true
+        | Some reason -> Test.fail_reportf "%s, seed %d: %s" name seed reason);
+    Test.make ~name:"chaos: equal seeds replay byte-identically" ~count:40 alg_and_seed
+      (fun (name, seed) ->
+        let once () =
+          let topo, tasks, faults = chaos_scenario seed in
+          Report.fingerprint (Engine.run ~faults topo (Registry.make name) tasks)
+        in
+        String.equal (once ()) (once ()));
+    Test.make ~name:"chaos: random plans round-trip through their spec" ~count:60 seed
+      (fun seed ->
+        let g = Prng.create seed in
+        let plan =
+          Fault.random g topo ~horizon:(1. +. Prng.float g 500.) ~crashes:(Prng.int g 4)
+            ~rack_outages:(Prng.int g 3) ~degradations:(Prng.int g 4) ()
+        in
+        match Fault.of_string (Fault.to_string plan) with
+        | Ok again -> String.equal (Fault.to_string plan) (Fault.to_string again)
+        | Error e -> Test.fail_reportf "seed %d: %s" seed e)
+  ]
+
+(* ---- determinism under parallel sweeps ---- *)
+
+let test_parallel_chaos_determinism () =
+  let job idx =
+    let name = List.nth chaos_algorithms (idx mod List.length chaos_algorithms) in
+    let topo, tasks, faults = chaos_scenario (1000 + idx) in
+    Report.fingerprint (Engine.run ~faults topo (Registry.make name) tasks)
+  in
+  let seq = Sweep.map ~domains:1 12 job in
+  let par = Sweep.map ~domains:4 12 job in
+  Alcotest.(check (array string)) "4-domain sweep equals sequential" seq par
+
+let tests =
+  ( "fault",
+    [ tc "spec round trip" `Quick test_spec_roundtrip;
+      tc "spec rejects malformed" `Quick test_spec_rejects_malformed;
+      tc "plan validation" `Quick test_plan_validation;
+      tc "cursor semantics" `Quick test_cursor_semantics;
+      tc "degradations compound" `Quick test_degradations_compound;
+      tc "random plan deterministic" `Quick test_random_plan_deterministic;
+      tc "golden: re-home" `Quick test_golden_rehome;
+      tc "golden: unrecoverable" `Quick test_golden_unrecoverable;
+      tc "golden: destination crash" `Quick test_destination_crash_loses_task;
+      tc "golden: dead destination at arrival" `Quick test_dead_destination_at_arrival;
+      tc "golden: recovered server" `Quick test_recovered_server_is_no_source;
+      tc "golden: degradation" `Quick test_golden_degradation;
+      tc "empty plan is identity" `Quick test_empty_plan_is_identity;
+      tc "re-homing beats no reselection" `Quick test_rehoming_beats_no_reselection;
+      tc "invalid selection" `Quick test_invalid_selection;
+      tc "invalid reselection" `Quick test_invalid_reselection;
+      tc "injected id collision" `Quick test_injected_id_collision_rejected;
+      tc "closed-loop repair" `Quick test_closed_loop_repair;
+      tc "closed-loop repair deterministic" `Quick test_closed_loop_repair_deterministic;
+      tc "parallel chaos determinism" `Quick test_parallel_chaos_determinism
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

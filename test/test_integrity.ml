@@ -138,6 +138,94 @@ let test_pipeline_scrub_and_repair () =
   Alcotest.(check bool) "verified clean" true (Pipeline.verify_file p id);
   Alcotest.(check (list (pair int int))) "second scrub clean" [] (Pipeline.scrub p)
 
+(* ---- decode under corruption: corrupt -> detect -> repair ---- *)
+
+let write_fixture ?(n = 9) ?(k = 6) ?(len = 900) ?(seed = 77) () =
+  let topo = T.two_tier ~racks:3 ~servers_per_rack:5 ~cst:500. ~cta:1500. in
+  let p = Pipeline.create (Cluster.create topo) in
+  let g = S3_util.Prng.create seed in
+  let data = Bytes.init len (fun i -> Char.chr ((i * 131) land 0xff)) in
+  let info = Pipeline.write_file p g ~n ~k data in
+  (p, g, data, info.Pipeline.id)
+
+let corrupt_chunk p id chunk =
+  let meta = Cluster.file (Pipeline.cluster p) id in
+  Store.corrupt (Pipeline.store p) ~server:meta.Cluster.locations.(chunk) ~file:id ~chunk
+
+let repair_all p g id =
+  List.iter
+    (fun chunk ->
+      let sources =
+        Cluster.survivors (Pipeline.cluster p) id
+        |> List.map snd
+        |> List.filteri (fun i _ -> i < 6)
+      in
+      let destination = Option.get (Cluster.repair_destination (Pipeline.cluster p) g id) in
+      Pipeline.repair p ~file:id ~chunk ~sources ~destination)
+    (Cluster.lost_chunks (Pipeline.cluster p) id)
+
+let test_decode_under_corruption () =
+  (* Bit rot inside the decode subset: the decoder has no idea and
+     hands back wrong bytes — only the CRC pass catches it. Quarantine
+     routes the read around the rotten shard, repair restores health. *)
+  let p, g, data, id = write_fixture () in
+  corrupt_chunk p id 0;
+  Alcotest.(check bool) "decode is silently wrong" false
+    (Bytes.equal (Pipeline.read_file p id) data);
+  Alcotest.(check (option bool)) "crc32 detects the flip" (Some false)
+    (Store.checksum_ok (Pipeline.store p)
+       ~server:(Cluster.file (Pipeline.cluster p) id).Cluster.locations.(0) ~file:id ~chunk:0);
+  Alcotest.(check bool) "deep verify fails" false (Pipeline.verify_file p id);
+  Alcotest.(check (list (pair int int))) "scrub quarantines it" [ (id, 0) ] (Pipeline.scrub p);
+  Alcotest.(check bytes) "read is correct again" data (Pipeline.read_file p id);
+  repair_all p g id;
+  Alcotest.(check bool) "repair restores full health" true (Pipeline.verify_file p id);
+  Alcotest.(check bytes) "object intact" data (Pipeline.read_file p id)
+
+let test_parity_corruption_missed_by_decode () =
+  (* Rot in a parity shard never touches a default read, but the deep
+     verify and the scrub still find and heal it. *)
+  let p, g, data, id = write_fixture () in
+  corrupt_chunk p id 8;
+  Alcotest.(check bytes) "read unaffected" data (Pipeline.read_file p id);
+  Alcotest.(check bool) "verify still fails" false (Pipeline.verify_file p id);
+  Alcotest.(check (list (pair int int))) "quarantined" [ (id, 8) ] (Pipeline.scrub p);
+  repair_all p g id;
+  Alcotest.(check bool) "healed" true (Pipeline.verify_file p id)
+
+let test_corruption_to_the_decode_limit () =
+  (* n - k = 3 rotten shards of a (9,6) file are survivable; a fourth
+     pushes the file below k and the read must refuse, not fabricate. *)
+  let p, g, data, id = write_fixture () in
+  List.iter (corrupt_chunk p id) [ 0; 4; 8 ];
+  Alcotest.(check int) "all three quarantined" 3 (List.length (Pipeline.scrub p));
+  Alcotest.(check bytes) "exactly k shards still decode" data (Pipeline.read_file p id);
+  repair_all p g id;
+  Alcotest.(check bool) "fully healed" true (Pipeline.verify_file p id);
+  List.iter (corrupt_chunk p id) [ 1; 2; 3; 5 ];
+  Alcotest.(check int) "four more quarantined" 4 (List.length (Pipeline.scrub p));
+  Alcotest.check_raises "below k the read refuses"
+    (Failure "Pipeline.read_file: unrecoverable (fewer than k shards)") (fun () ->
+      ignore (Pipeline.read_file p id))
+
+let qcheck_corruption =
+  let open QCheck in
+  [ Test.make ~name:"random rot up to n-k is always detected and healed" ~count:50
+      (pair (int_range 0 10_000) (int_range 1 3))
+      (fun (seed, rotten) ->
+        let p, g, data, id = write_fixture ~seed () in
+        let gc = S3_util.Prng.create (seed + 1) in
+        let victims = S3_util.Prng.sample gc rotten [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        List.iter (corrupt_chunk p id) victims;
+        let quarantined = Pipeline.scrub p in
+        List.length quarantined = rotten
+        && Bytes.equal (Pipeline.read_file p id) data
+        && begin
+             repair_all p g id;
+             Pipeline.verify_file p id && Bytes.equal (Pipeline.read_file p id) data
+           end)
+  ]
+
 let tests =
   ( "integrity",
     [ tc "crc known vectors" `Quick test_crc_known_vectors;
@@ -148,6 +236,9 @@ let tests =
       tc "mbr storage equals repair" `Quick test_mbr_storage_equals_repair;
       tc "regenerating validation" `Quick test_regenerating_validation;
       tc "store scrub" `Quick test_store_scrub;
-      tc "pipeline scrub and repair" `Quick test_pipeline_scrub_and_repair
+      tc "pipeline scrub and repair" `Quick test_pipeline_scrub_and_repair;
+      tc "decode under corruption" `Quick test_decode_under_corruption;
+      tc "parity corruption" `Quick test_parity_corruption_missed_by_decode;
+      tc "corruption to the decode limit" `Quick test_corruption_to_the_decode_limit
     ]
-    @ List.map QCheck_alcotest.to_alcotest qcheck_regenerating )
+    @ List.map QCheck_alcotest.to_alcotest (qcheck_regenerating @ qcheck_corruption) )

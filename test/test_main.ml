@@ -19,6 +19,7 @@ let () =
       Test_core.tests;
       Test_algorithms.tests;
       Test_sim.tests;
+      Test_fault.tests;
       Test_integration.tests;
       Test_properties.tests;
       Test_report.tests;

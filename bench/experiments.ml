@@ -10,7 +10,9 @@ module Generator = S3_workload.Generator
 module Trace = S3_workload.Trace
 module Scenarios = S3_workload.Scenarios
 module Registry = S3_core.Registry
+module Fault = S3_fault.Fault
 module Engine = S3_sim.Engine
+module Watchdog = S3_sim.Watchdog
 module Foreground = S3_sim.Foreground
 module Metrics = S3_sim.Metrics
 module Emulator = S3_cloud.Emulator
@@ -424,6 +426,29 @@ let plan_scene_run ~m name =
   let cfg = config ~tasks:m ~rate:1000. () in
   let tasks = Generator.generate g topo cfg in
   Engine.run topo (Registry.make name) tasks
+
+(* The same burst scene under a mid-run degradation storm (five server
+   NICs cut to 5% for 60 s), run with or without the deadline watchdog.
+   The watchdog=false runs bound the supervision layer's cost when it
+   is off; the watchdog=true runs track the cost and yield of hedged
+   swaps under overload. *)
+let storm_scene_run ?watchdog ~m name =
+  let topo = topo () in
+  let g = Prng.create (97 + m) in
+  let cfg = config ~tasks:m ~rate:1000. () in
+  let tasks = Generator.generate g topo cfg in
+  let faults =
+    Fault.plan
+      (List.map
+         (fun s ->
+           { Fault.time = 30.;
+             kind =
+               Fault.Link_degrade
+                 { entity = Topology.server_entity topo s; factor = 0.05; duration = 60. }
+           })
+         [ 10; 11; 12; 13; 14 ])
+  in
+  Engine.run ~faults ?watchdog topo (Registry.make name) tasks
 
 let fig5_sizes = [ 10; 25; 50; 100; 200; 400 ]
 

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- bench     regression mode: Bechamel
                                            suite + fig5 scene engine
                                            runs, machine-readable
-                                           results in BENCH_1.json
+                                           results in BENCH_5.json
 
    See bench/experiments.ml for the per-figure regenerators and
    EXPERIMENTS.md for paper-vs-measured. *)
@@ -112,7 +112,7 @@ let run_bechamel () =
 (* Regression mode: microbenchmark ns/run per kernel plus end-to-end
    plan-time accounting from full engine runs on the fig5 burst scenes,
    dumped as JSON so a driver can diff runs mechanically. *)
-let bench_json_file = "BENCH_3.json"
+let bench_json_file = "BENCH_5.json"
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -178,6 +178,25 @@ let run_bench () =
           [ 50; 100 ])
       [ "fifo"; "disedf"; "lpst"; "lpall" ]
   in
+  print_endline "\n=== storm scenes (degradation storm, watchdog off/on) ===";
+  let storms =
+    List.concat_map
+      (fun watchdog ->
+        List.map
+          (fun m ->
+            let r =
+              if watchdog then
+                Experiments.storm_scene_run ~watchdog:S3_sim.Watchdog.default ~m "lpst"
+              else Experiments.storm_scene_run ~m "lpst"
+            in
+            Printf.printf
+              "lpst m=%d watchdog=%b: plan_time=%.4fs rescued=%d shed=%d\n%!" m watchdog
+              r.S3_sim.Metrics.plan_time r.S3_sim.Metrics.tasks_rescued
+              r.S3_sim.Metrics.tasks_shed_early;
+            (m, watchdog, r))
+          [ 50; 100 ])
+      [ false; true ]
+  in
   let jobs, domains, seq_s, par_s, deterministic = sweep_pair () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -210,6 +229,19 @@ let run_bench () =
            (json_escape name) m plan_time plan_calls
            (if i < List.length scenes - 1 then "," else "")))
     scenes;
+  Buffer.add_string b "  ],\n  \"storms\": [\n";
+  List.iteri
+    (fun i (m, watchdog, r) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"algorithm\": \"lpst\", \"tasks\": %d, \"watchdog\": %b, \
+            \"plan_time_s\": %.6f, \"plan_calls\": %d, \"swaps\": %d, \"rescued\": %d, \
+            \"shed\": %d }%s\n"
+           m watchdog r.S3_sim.Metrics.plan_time r.S3_sim.Metrics.plan_calls
+           r.S3_sim.Metrics.swaps_successful r.S3_sim.Metrics.tasks_rescued
+           r.S3_sim.Metrics.tasks_shed_early
+           (if i < List.length storms - 1 then "," else "")))
+    storms;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out bench_json_file in
   output_string oc (Buffer.contents b);

@@ -100,7 +100,20 @@ let parse_faults = function
   | None -> Ok Fault.empty
   | Some spec -> Fault.of_string spec
 
-let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?csv topo names tasks =
+let watchdog_arg =
+  Arg.(value & opt (some string) None
+       & info [ "watchdog" ] ~docv:"SPEC"
+           ~doc:"Enable the deadline watchdog (straggler swaps + early shedding): \
+                 comma-separated overrides among slack=S (seconds), max-swaps=N and \
+                 backoff=B (seconds), e.g. 'slack=1,max-swaps=3,backoff=2'; \
+                 'default' for the defaults.")
+
+let parse_watchdog = function
+  | None -> Ok None
+  | Some spec -> (
+    match S3_sim.Watchdog.of_string spec with Ok c -> Ok (Some c) | Error e -> Error e)
+
+let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv topo names tasks =
   let config =
     { Engine.foreground =
         (if fg > 0. then Foreground.uniform ~max_frac:fg else Foreground.none);
@@ -108,12 +121,13 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?csv topo names tasks =
     }
   in
   let with_faults = not (Fault.is_empty faults) in
+  let with_watchdog = Option.is_some watchdog in
   let runs =
     List.map
       (fun name ->
         let alg = Registry.make name in
-        if cloud then Emulator.run ~sim_config:config ~faults topo alg tasks
-        else Engine.run ~config ~faults topo alg tasks)
+        if cloud then Emulator.run ~sim_config:config ~faults ?watchdog topo alg tasks
+        else Engine.run ~config ~faults ?watchdog topo alg tasks)
       names
   in
   let rows =
@@ -126,24 +140,35 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?csv topo names tasks =
           Table.fmt_float ~decimals:1 run.Metrics.horizon;
           Printf.sprintf "%.2f" (1000. *. Metrics.mean_plan_time run)
         ]
+        @ (if with_faults then
+             [ string_of_int run.Metrics.flows_killed;
+               string_of_int run.Metrics.tasks_rehomed;
+               string_of_int run.Metrics.tasks_lost
+             ]
+           else [])
         @
-        if with_faults then
-          [ string_of_int run.Metrics.flows_killed;
-            string_of_int run.Metrics.tasks_rehomed;
-            string_of_int run.Metrics.tasks_lost
+        if with_watchdog then
+          [ string_of_int run.Metrics.swaps_attempted;
+            string_of_int run.Metrics.swaps_successful;
+            string_of_int run.Metrics.tasks_rescued;
+            string_of_int run.Metrics.tasks_shed_early
           ]
         else [])
       runs
   in
   let fault_cols = if with_faults then [ "killed"; "rehomed"; "lost" ] else [] in
+  let watchdog_cols =
+    if with_watchdog then [ "attempts"; "swaps"; "rescued"; "shed" ] else []
+  in
+  let extra_cols = fault_cols @ watchdog_cols in
   print_endline
     (Table.render
        ~align:
          ([ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
-         @ List.map (fun _ -> Table.Right) fault_cols)
+         @ List.map (fun _ -> Table.Right) extra_cols)
        ~header:
          ([ "algorithm"; "completed"; "remaining(GB)"; "util"; "makespan(s)"; "plan(ms)" ]
-         @ fault_cols)
+         @ extra_cols)
        rows);
   match csv with
   | None -> ()
@@ -172,12 +197,14 @@ let run_cmd =
          & info [ "deadline-jitter" ] ~doc:"Relative deadline-factor spread, [0,1).")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs tasks rate chunk (n, k)
-      factor jitter fg seed cloud verbose faults_spec csv =
+      factor jitter fg seed cloud verbose faults_spec watchdog_spec csv =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
-           parse_algorithms algs, parse_faults faults_spec) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
-    | Ok topo, Ok names, Ok faults ->
+           parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec)
+    with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      `Error (false, e)
+    | Ok topo, Ok names, Ok faults, Ok watchdog ->
       (try
          let cfg =
            { Generator.num_tasks = tasks;
@@ -190,12 +217,15 @@ let run_cmd =
            }
          in
          let workload = Generator.generate (Prng.create seed) topo cfg in
-         Printf.printf "%s | %d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s%s%s\n\n"
+         Printf.printf "%s | %d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s%s%s%s\n\n"
            (Topology.name topo) tasks n k chunk rate
            (if cloud then " | emulated cloud" else "")
            (if Fault.is_empty faults then ""
-            else Printf.sprintf " | faults: %s" (Fault.to_string faults));
-         report ~cloud ~fg ~seed ~faults ?csv topo names workload;
+            else Printf.sprintf " | faults: %s" (Fault.to_string faults))
+           (match watchdog with
+            | None -> ""
+            | Some w -> Printf.sprintf " | watchdog: %s" (S3_sim.Watchdog.to_string w));
+         report ~cloud ~fg ~seed ~faults ?watchdog ?csv topo names workload;
          `Ok ()
        with Invalid_argument m -> `Error (false, m))
   in
@@ -204,7 +234,7 @@ let run_cmd =
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ tasks_arg $ rate_arg $ chunk_arg $ code_arg
              $ factor_arg $ jitter_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg
-             $ faults_arg $ csv_arg))
+             $ faults_arg $ watchdog_arg $ csv_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a synthetic background-task workload.") term
 
@@ -222,12 +252,14 @@ let trace_cmd =
     Arg.(value & opt float 10. & info [ "deadline-factor" ] ~doc:"Deadline = factor x LRT.")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs file machines tasks chunk
-      factor fg seed cloud verbose faults_spec csv =
+      factor fg seed cloud verbose faults_spec watchdog_spec csv =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
-           parse_algorithms algs, parse_faults faults_spec) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
-    | Ok topo, Ok names, Ok faults ->
+           parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec)
+    with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      `Error (false, e)
+    | Ok topo, Ok names, Ok faults, Ok watchdog ->
       (try
          let g = Prng.create seed in
          let records =
@@ -243,7 +275,7 @@ let trace_cmd =
            Trace.to_tasks g topo records ~chunk_size_mb:chunk ~deadline_factor:factor
          in
          Printf.printf "%s | %d trace records\n\n" (Topology.name topo) (List.length records);
-         report ~cloud ~fg ~seed ~faults ?csv topo names workload;
+         report ~cloud ~fg ~seed ~faults ?watchdog ?csv topo names workload;
          `Ok ()
        with
        | Invalid_argument m -> `Error (false, m)
@@ -253,7 +285,8 @@ let trace_cmd =
     Term.(ret
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ file_arg $ machines_arg $ tasks_arg $ chunk_arg
-             $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ faults_arg $ csv_arg))
+             $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ faults_arg
+             $ watchdog_arg $ csv_arg))
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate a Google-style arrival trace.") term
 

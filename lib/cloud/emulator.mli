@@ -34,12 +34,13 @@ val run :
   ?sim_config:S3_sim.Engine.config ->
   ?faults:S3_fault.Fault.t ->
   ?on_failure:(now:float -> server:int -> S3_sim.Metrics.Task.t list) ->
+  ?watchdog:S3_sim.Watchdog.config ->
   S3_net.Topology.t ->
   S3_core.Algorithm.t ->
   S3_sim.Metrics.Task.t list ->
   S3_sim.Metrics.run
 (** Execute the workload on the emulated testbed. The result is
     directly comparable with {!S3_sim.Engine.run} on the same inputs —
-    that comparison is the validation experiment. [faults] and
-    [on_failure] pass straight through to the engine, so chaos
-    scenarios run under the noisy data plane too. *)
+    that comparison is the validation experiment. [faults], [on_failure]
+    and [watchdog] pass straight through to the engine, so chaos and
+    graceful-degradation scenarios run under the noisy data plane too. *)

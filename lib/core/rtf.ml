@@ -16,3 +16,8 @@ let flow_rtf (v : Problem.view) (f : Problem.flow) =
 let task_rtf v = function
   | [] -> invalid_arg "Rtf.task_rtf: no flows"
   | flows -> List.fold_left (fun acc f -> min acc (flow_rtf v f)) infinity flows
+
+let path_feasible (v : Problem.view) (t : Task.t) ~src ~remaining =
+  let need = lrb ~now:v.Problem.now ~deadline:t.Task.deadline ~remaining in
+  Float.is_finite need
+  && need <= Problem.path_available v ~src ~dst:t.Task.destination +. 1e-9

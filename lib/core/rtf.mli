@@ -20,3 +20,13 @@ val flow_rtf : Problem.view -> Problem.flow -> float
 val task_rtf : Problem.view -> Problem.flow list -> float
 (** Eq. (13): the task's RTF is the minimum over its subtask flows.
     Raises [Invalid_argument] on an empty flow list. *)
+
+val path_feasible :
+  Problem.view -> S3_workload.Task.t -> src:int -> remaining:float -> bool
+(** Could a fetch of [remaining] megabits from [src] still meet the
+    task's deadline at the route's current bottleneck available
+    bandwidth — [lrb <= path_available] (with the engine's 1e-9
+    tolerance), i.e. LPST's admission test for a single fresh flow?
+    False once the deadline has passed. The watchdog uses this to
+    filter hedged-swap candidates down to sources that can actually
+    save the task. *)

@@ -75,15 +75,25 @@ let random g topo ~horizon ?(crashes = 1) ?(rack_outages = 0) ?(degradations = 1
 
 (* ---- compact string spec ---- *)
 
+(* Shortest decimal form that parses back to the same float: %g keeps
+   only 6 significant digits and loses precision on round-trip, so specs
+   printed from a randomly drawn plan would no longer replay the same
+   run. %.15g covers almost every value humans write; the %.17g fallback
+   is exact for every float. *)
+let float_rt f =
+  let s = Printf.sprintf "%.15g" f in
+  if Float.equal (float_of_string s) f then s else Printf.sprintf "%.17g" f
+
 let to_string t =
   events t
   |> List.map (fun ev ->
          match ev.kind with
-         | Server_crash s -> Printf.sprintf "crash@%g:%d" ev.time s
-         | Server_recover s -> Printf.sprintf "recover@%g:%d" ev.time s
-         | Rack_outage r -> Printf.sprintf "rack@%g:%d" ev.time r
+         | Server_crash s -> Printf.sprintf "crash@%s:%d" (float_rt ev.time) s
+         | Server_recover s -> Printf.sprintf "recover@%s:%d" (float_rt ev.time) s
+         | Rack_outage r -> Printf.sprintf "rack@%s:%d" (float_rt ev.time) r
          | Link_degrade { entity; factor; duration } ->
-           Printf.sprintf "degrade@%g:%d:%g:%g" ev.time entity factor duration)
+           Printf.sprintf "degrade@%s:%d:%s:%s" (float_rt ev.time) entity
+             (float_rt factor) (float_rt duration))
   |> String.concat ","
 
 let of_string s =
@@ -192,6 +202,38 @@ let multiplier st e =
   let owner = st.nic_owner.(e) in
   if owner >= 0 && st.dead_now.(owner) then 0.
   else List.fold_left (fun acc d -> if d.d_entity = e then acc *. d.d_factor else acc) 1. st.active
+
+let degraded st e = List.exists (fun d -> d.d_entity = e) st.active
+
+let deliverable st e ~from ~until =
+  let from = max from st.clock in
+  if until <= from then 0.
+  else begin
+    let owner = st.nic_owner.(e) in
+    if owner >= 0 && st.dead_now.(owner) then 0.
+    else begin
+      let ds = List.filter (fun d -> d.d_entity = e) st.active in
+      (* Piecewise-constant multiplier: breakpoints are the expiries of
+         the entity's active degradations inside (from, until). *)
+      let cuts =
+        List.filter_map
+          (fun d -> if d.d_until > from && d.d_until < until then Some d.d_until else None)
+          ds
+        |> List.sort_uniq compare
+      in
+      let rec go a cuts acc =
+        let b = match cuts with [] -> until | c :: _ -> c in
+        let m =
+          List.fold_left
+            (fun m d -> if d.d_until > a +. time_epsilon then m *. d.d_factor else m)
+            1. ds
+        in
+        let acc = acc +. ((b -. a) *. m) in
+        match cuts with [] -> acc | _ :: rest -> go b rest acc
+      in
+      go from cuts 0.
+    end
+  end
 
 let crash_server st s acc = if st.dead_now.(s) then acc
   else begin

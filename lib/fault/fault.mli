@@ -84,7 +84,9 @@ val of_string : string -> (t, string) result
     [Error] with a human-readable message on malformed input. *)
 
 val to_string : t -> string
-(** Round-trips through {!of_string}. *)
+(** Round-trips through {!of_string} {e exactly}: floats are printed
+    with the shortest decimal form that parses back to the same value,
+    so [of_string (to_string p)] reproduces [p]'s events bit-for-bit. *)
 
 (** {2 The engine-facing cursor} *)
 
@@ -128,6 +130,24 @@ val multiplier : state -> int -> float
 (** Current capacity multiplier of an entity: 0 for the NIC of a dead
     server, the product of active degradation factors otherwise (1 when
     unaffected). *)
+
+val degraded : state -> int -> bool
+(** Is at least one degradation currently active on this entity? The
+    watchdog uses this to triage stragglers: a straggler whose route
+    crosses a degraded entity is swapped before one that is merely
+    slow from contention. *)
+
+val deliverable : state -> int -> from:float -> until:float -> float
+(** Integral of {!multiplier} for one entity over [\[from, until)],
+    assuming no further script events fire: active degradations expire
+    on their schedule and a currently dead NIC stays dead (0). This is
+    the seconds-of-full-capacity the entity can still deliver before
+    [until] — multiplied by the entity's available bandwidth it bounds
+    the volume any flow can move through it, which is what the
+    watchdog's shed criterion needs (an instantaneous multiplier would
+    mis-shed tasks whose degradations expire before the deadline).
+    Returns 0 when [until <= max from clock]; [from] is clamped to the
+    cursor's clock. *)
 
 (** {2 Closed-loop repair} *)
 

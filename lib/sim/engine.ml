@@ -2,6 +2,7 @@ module Task = S3_workload.Task
 module Topology = S3_net.Topology
 module Problem = S3_core.Problem
 module Algorithm = S3_core.Algorithm
+module Rtf = S3_core.Rtf
 module Fault = S3_fault.Fault
 
 let src = Logs.Src.create "s3.engine" ~doc:"S3 scheduling engine"
@@ -58,7 +59,7 @@ let volume_epsilon = 1e-6  (* megabits; ~0.1 byte *)
 let time_epsilon = 1e-9
 
 let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
-    ?(faults = Fault.empty) ?on_failure topo (alg : Algorithm.t) tasks =
+    ?(faults = Fault.empty) ?on_failure ?watchdog topo (alg : Algorithm.t) tasks =
   let pending = Array.of_list (List.sort Task.compare_arrival tasks) in
   let validate_task (t : Task.t) =
     let ok s = s >= 0 && s < Topology.servers topo in
@@ -88,6 +89,12 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   let events = ref 0 and clamp_events = ref 0 in
   let flows_killed = ref 0 and tasks_rehomed = ref 0 and tasks_lost = ref 0 in
   let wasted = ref 0. in
+  let swaps_attempted = ref 0 and swaps_successful = ref 0 in
+  let tasks_rescued = ref 0 and tasks_shed_early = ref 0 in
+  let shed_volume = ref 0. in
+  (* Tasks the watchdog swapped at least once; counted as rescued only
+     if they go on to complete by their deadline. *)
+  let swapped_tasks = Hashtbl.create 16 in
   (* Closed-loop repair tasks injected mid-run, kept sorted by arrival;
      [injected_all] accumulates every injection for the final report. *)
   let injected = ref [] and injected_all = ref [] in
@@ -413,6 +420,253 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
         end)
       !active
   in
+  (* ---- deadline watchdog (see Watchdog and DESIGN.md §11) ---- *)
+  let wd_states : (int, Watchdog.tstate) Hashtbl.t = Hashtbl.create 16 in
+  let wd_state id =
+    match Hashtbl.find_opt wd_states id with
+    | Some st -> st
+    | None ->
+      let st = Watchdog.fresh () in
+      Hashtbl.replace wd_states id st;
+      st
+  in
+  (* The task can no longer finish on any remaining source set: cancel
+     it now so its bandwidth goes to savable tasks instead of burning
+     until the deadline. The delivered chunks are the shed remainder of
+     the conservation law, kept separate from fault/abandon waste. *)
+  let shed lt =
+    Log.debug (fun m -> m "t=%.3f task#%d shed early by the watchdog" !now lt.task.Task.id);
+    record_outcome lt ~completed:false;
+    lt.failed <- true;
+    Array.iter
+      (fun f ->
+        shed_volume := !shed_volume +. (lt.task.Task.volume -. f.remaining);
+        set_flow_rate f 0.;
+        f.remaining <- 0.)
+      lt.lflows;
+    lt.resolved <- true;
+    incr tasks_shed_early
+  in
+  (* A hedged swap abandons the straggling partial fetch (the
+     replacement restarts the chunk at full volume), so its delivered
+     bits become waste — same accounting as a fault kill, without the
+     fault counter. *)
+  let swap_kill lt f =
+    wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
+    set_flow_rate f 0.;
+    f.remaining <- 0.
+  in
+  (* One supervision pass: project every in-flight subtask's finish
+     from its assigned rate; swap stragglers onto unused spare sources
+     (budgeted, backed off) and shed provably infeasible tasks. Returns
+     true if it changed the flow set, in which case the caller must
+     recompute and supervise again — the loop terminates because sheds
+     are monotone and swaps consume per-task budget. *)
+  let supervise (cfg : Watchdog.config) =
+    let changed = ref false in
+    let transfer_start = max !now !frozen_until in
+    List.iter
+      (fun lt ->
+        if (not lt.resolved) && not lt.failed then begin
+          let t = lt.task in
+          let dl = t.Task.deadline in
+          let projected f =
+            if f.remaining <= 0. then neg_infinity
+            else if f.rate > 0. then transfer_start +. (f.remaining /. f.rate)
+            else infinity
+          in
+          let stragglers = ref [] in
+          Array.iteri
+            (fun i f ->
+              if projected f > dl +. cfg.Watchdog.slack +. time_epsilon then
+                stragglers := i :: !stragglers)
+            lt.lflows;
+          let stragglers = List.rev !stragglers in
+          if stragglers <> [] then begin
+            let st = wd_state t.Task.id in
+            (* Spare sources: never crashed, not currently fetching a
+               chunk, and not already swapped away from (a source the
+               watchdog abandoned as too slow stays abandoned). *)
+            let used =
+              Array.fold_left (fun acc f -> f.source :: acc) st.Watchdog.abandoned lt.lflows
+            in
+            let eligible =
+              Array.to_list t.Task.sources
+              |> List.filter (fun s ->
+                     (not (Fault.ever_crashed fstate s)) && not (List.mem s used))
+              |> Array.of_list
+            in
+            (* Deliverable megabits through an entity before the
+               deadline, assuming no further fault events: the current
+               foreground share times the integral of the degradation
+               multiplier (degradations expire on schedule). *)
+            let bits e =
+              Foreground.available fg e
+              *. Fault.deliverable fstate e ~from:transfer_start ~until:dl
+            in
+            (* Infeasible on every remaining source set? Two conservative
+               checks: (a) some chunk exceeds what even its best allowed
+               path can deliver in time; (b) the entities every possible
+               assignment crosses (current route ∩ all spare routes —
+               e.g. the destination NIC) cannot carry the task's whole
+               remaining demand. Both use time-integrated capacity, so a
+               degradation expiring before the deadline never sheds a
+               savable task. *)
+            let infeasible () =
+              dl > transfer_start
+              && begin
+                   let spare_routes =
+                     Array.map
+                       (fun s -> Topology.route_array topo ~src:s ~dst:t.Task.destination)
+                       eligible
+                   in
+                   let in_every_spare e =
+                     Array.for_all (fun r -> Array.exists (fun x -> x = e) r) spare_routes
+                   in
+                   let through route =
+                     Array.fold_left (fun acc e -> min acc (bits e)) infinity route
+                   in
+                   let flow_doomed f =
+                     let best =
+                       Array.fold_left
+                         (fun acc r -> max acc (through r))
+                         (through f.route) spare_routes
+                     in
+                     f.remaining > best +. volume_epsilon
+                   in
+                   let demand = Hashtbl.create 8 in
+                   Array.iter
+                     (fun f ->
+                       if f.remaining > 0. then
+                         Array.iter
+                           (fun e ->
+                             if in_every_spare e then
+                               Hashtbl.replace demand e
+                                 (Option.value ~default:0. (Hashtbl.find_opt demand e)
+                                 +. f.remaining))
+                           f.route)
+                     lt.lflows;
+                   Array.exists (fun f -> f.remaining > 0. && flow_doomed f) lt.lflows
+                   || Hashtbl.fold
+                        (fun e d acc -> acc || d > bits e +. volume_epsilon)
+                        demand false
+                 end
+            in
+            if infeasible () then begin
+              shed lt;
+              changed := true
+            end
+            else begin
+              match alg.Algorithm.reselect with
+              | Some reselect when Watchdog.can_intervene cfg st ~now:!now ->
+                (* can_intervene guarantees budget remains, so want >= 1. *)
+                let want =
+                  min (List.length stragglers) (cfg.Watchdog.max_swaps - st.Watchdog.swaps)
+                in
+                swaps_attempted := !swaps_attempted + want;
+                let view = make_view () in
+                (* Only hedge onto sources that could still make the
+                   deadline at current available bandwidth — swapping
+                   onto an equally hopeless path would just burn budget. *)
+                let eligible =
+                  Array.to_list eligible
+                  |> List.filter (fun s ->
+                         Rtf.path_feasible view t ~src:s ~remaining:t.Task.volume)
+                  |> Array.of_list
+                in
+                let n = min want (Array.length eligible) in
+                if n = 0 then
+                  (* No usable spare right now: burn the backoff gap,
+                     not the swap budget, and look again later. *)
+                  Watchdog.note_intervention cfg st ~now:!now ~replaced:0
+                else begin
+                  (* Worst first: stragglers crossing a degraded entity,
+                     then latest projected finish (stalled flows project
+                     to infinity and lead), then flow order. *)
+                  let route_degraded f =
+                    Array.exists (fun e -> Fault.degraded fstate e) f.route
+                  in
+                  let slots =
+                    List.map
+                      (fun i ->
+                        let f = lt.lflows.(i) in
+                        ((if route_degraded f then 0 else 1), -.projected f, i))
+                      stragglers
+                    |> List.sort compare
+                    |> List.filteri (fun j _ -> j < n)
+                    |> List.map (fun (_, _, i) -> i)
+                  in
+                  List.iter
+                    (fun i ->
+                      let f = lt.lflows.(i) in
+                      Watchdog.abandon st f.source;
+                      swap_kill lt f)
+                    slots;
+                  let view = make_view () in
+                  let repl = reselect view t ~eligible ~need:n in
+                  if Array.length repl <> n then
+                    invalid t.Task.id (-1)
+                      (Printf.sprintf "%s reselected %d sources, need %d (watchdog swap)"
+                         alg.Algorithm.name (Array.length repl) n);
+                  let seen = Hashtbl.create 8 in
+                  Array.iter
+                    (fun s ->
+                      if not (Array.exists (fun c -> c = s) eligible) then
+                        invalid t.Task.id s
+                          (alg.Algorithm.name
+                         ^ " reselected an ineligible source (watchdog swap)");
+                      if Hashtbl.mem seen s then
+                        invalid t.Task.id s
+                          (alg.Algorithm.name
+                         ^ " reselected a duplicate source (watchdog swap)");
+                      Hashtbl.replace seen s ())
+                    repl;
+                  List.iteri
+                    (fun j i ->
+                      let source = repl.(j) in
+                      let flow_id = !next_flow_id in
+                      incr next_flow_id;
+                      lt.lflows.(i) <-
+                        { flow_id;
+                          source;
+                          route = Topology.route_array topo ~src:source ~dst:t.Task.destination;
+                          remaining = t.Task.volume;
+                          rate = 0.
+                        })
+                    slots;
+                  Watchdog.note_intervention cfg st ~now:!now ~replaced:n;
+                  swaps_successful := !swaps_successful + n;
+                  Hashtbl.replace swapped_tasks t.Task.id ();
+                  Log.debug (fun m ->
+                      m "t=%.3f task#%d watchdog swapped %d straggler(s) onto [%s]" !now
+                        t.Task.id n
+                        (String.concat ";" (Array.to_list (Array.map string_of_int repl))));
+                  changed := true
+                end
+              | _ -> ()
+            end
+          end
+        end)
+      (List.rev !active);
+    if !changed then active := List.filter (fun lt -> not lt.resolved) !active;
+    !changed
+  in
+  (* Every recomputation runs under supervision when a watchdog config
+     is given; with [?watchdog:None] this is recompute and nothing else,
+     so existing runs stay bit-identical. *)
+  let replan () =
+    recompute ();
+    match watchdog with
+    | None -> ()
+    | Some cfg ->
+      let rec go budget =
+        if budget > 0 && supervise cfg then begin
+          recompute ();
+          go (budget - 1)
+        end
+      in
+      go 10_000
+  in
   let moved_total = ref 0. in
   (* Transfer over [now, now+dt), minus any initial frozen span. *)
   let advance_volumes dt =
@@ -475,7 +729,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     || !injected <> []
     || (Option.is_some on_failure && not (Fault.exhausted fstate))
   in
-  recompute ();
+  replan ();
   while work_remains () do
     let t_next = next_event_time () in
     if not (Float.is_finite t_next) then
@@ -496,7 +750,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
             (* A task that already failed keeps its failure outcome even
                if a deadline-blind heuristic finishes it later — and the
                volume it pulled past the deadline is pure waste. *)
-            if not lt.failed then record_outcome lt ~completed:true
+            if not lt.failed then begin
+              record_outcome lt ~completed:true;
+              if Hashtbl.mem swapped_tasks lt.task.Task.id then incr tasks_rescued
+            end
             else wasted := !wasted +. Task.total_volume lt.task;
             lt.resolved <- true;
             incr processed
@@ -571,7 +828,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     end
     else stalls := 0;
     incr events;
-    recompute ()
+    replan ()
   done;
   let horizon = max !now 1e-9 in
   let util_sum = ref 0. in
@@ -601,5 +858,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     clamp_events = !clamp_events;
     flows_killed = !flows_killed;
     tasks_rehomed = !tasks_rehomed;
-    tasks_lost = !tasks_lost
+    tasks_lost = !tasks_lost;
+    swaps_attempted = !swaps_attempted;
+    swaps_successful = !swaps_successful;
+    tasks_rescued = !tasks_rescued;
+    tasks_shed_early = !tasks_shed_early;
+    shed_volume = !shed_volume
   }

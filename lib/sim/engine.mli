@@ -25,7 +25,16 @@
     no hook, is lost on the spot. Degradations scale entity capacity in
     both the algorithm's view and the clamp check, so well-behaved
     algorithms still never clamp. All of it is deterministic: the same
-    seed, plan and workload replay to the same {!Report.fingerprint}. *)
+    seed, plan and workload replay to the same {!Report.fingerprint}.
+
+    A {!Watchdog.config} adds a supervision layer on top: after every
+    recomputation the engine projects each in-flight subtask's finish
+    time from its assigned rate, swaps stragglers onto unused spare
+    sources through the same [reselect] hook (budgeted and exponentially
+    backed off per task), and sheds tasks that are provably infeasible
+    on every remaining source set. Without [?watchdog] none of this
+    code runs and the engine is byte-identical to its pre-watchdog
+    behavior — the tests pin this with fingerprints. *)
 
 type config = {
   foreground : Foreground.config;
@@ -61,6 +70,7 @@ val run :
   ?on_event:(float -> S3_core.Problem.view -> S3_core.Allocation.rates -> unit) ->
   ?faults:S3_fault.Fault.t ->
   ?on_failure:(now:float -> server:int -> Metrics.Task.t list) ->
+  ?watchdog:Watchdog.config ->
   S3_net.Topology.t ->
   S3_core.Algorithm.t ->
   Metrics.Task.t list ->
@@ -79,4 +89,14 @@ val run :
     [Invalid_argument]); {!S3_fault.Fault.closed_loop_repair} is the
     intended implementation. With a hook installed the run keeps going
     until the fault script is exhausted, so late crashes still spawn
-    their repair traffic. *)
+    their repair traffic.
+
+    [watchdog] (default off) enables the deadline-watchdog supervision
+    layer. A subtask projected past its deadline by more than the
+    config's slack is hedged onto a spare source when the algorithm has
+    a [reselect] hook, the per-task swap budget allows it, and a spare
+    with a currently feasible path exists ({!S3_core.Rtf.path_feasible});
+    a task no remaining source set can finish in time is shed early,
+    its delivered volume recorded in [Metrics.run.shed_volume]. The
+    supervision pass is a pure function of run state, so watchdog runs
+    replay byte-identically too. *)

@@ -23,6 +23,11 @@ type run = {
   flows_killed : int;
   tasks_rehomed : int;
   tasks_lost : int;
+  swaps_attempted : int;
+  swaps_successful : int;
+  tasks_rescued : int;
+  tasks_shed_early : int;
+  shed_volume : float;
 }
 
 let completed r = List.length (List.filter (fun o -> o.completed) r.outcomes)

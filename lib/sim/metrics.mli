@@ -45,6 +45,25 @@ type run = {
       (** tasks made unrecoverable by faults: destination died, fewer
           surviving candidate sources than [k], or the algorithm has no
           [reselect] hook *)
+  swaps_attempted : int;
+      (** straggling subtask fetches the deadline watchdog tried to
+          replace (counted even when no eligible spare source existed);
+          0 without [?watchdog] *)
+  swaps_successful : int;
+      (** replacement fetches the watchdog actually installed via the
+          algorithm's [reselect] hook *)
+  tasks_rescued : int;
+      (** watchdog-swapped tasks that went on to complete by their
+          deadline *)
+  tasks_shed_early : int;
+      (** tasks the watchdog cancelled before their deadline because no
+          remaining source set could finish in time *)
+  shed_volume : float;
+      (** megabits already delivered to early-shed tasks when they were
+          cancelled — the "shed remainder". With the watchdog the
+          conservation law becomes [transferred = completed volume +
+          wasted + shed_volume]; without it [shed_volume] is 0 and the
+          law reduces to the original one. *)
 }
 
 val completed : run -> int

@@ -21,16 +21,20 @@ let comparison_table runs =
 let csv_of_runs runs =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    "algorithm,completed,total,remaining_gb,utilization,horizon_s,plan_ms,events,flows_killed,tasks_rehomed,tasks_lost\n";
+    "algorithm,completed,total,remaining_gb,utilization,horizon_s,plan_ms,events,flows_killed,tasks_rehomed,tasks_lost,swaps_attempted,swaps_successful,tasks_rescued,tasks_shed_early,shed_gb\n";
   List.iter
     (fun (r : Metrics.run) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%.4f,%.6f,%.3f,%.4f,%d,%d,%d,%d\n" r.Metrics.algorithm
+        (Printf.sprintf "%s,%d,%d,%.4f,%.6f,%.3f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%.4f\n"
+           r.Metrics.algorithm
            (Metrics.completed r)
            (List.length r.Metrics.outcomes)
            (Metrics.remaining_volume_gb r) r.Metrics.utilization r.Metrics.horizon
            (1000. *. Metrics.mean_plan_time r)
-           r.Metrics.events r.Metrics.flows_killed r.Metrics.tasks_rehomed r.Metrics.tasks_lost))
+           r.Metrics.events r.Metrics.flows_killed r.Metrics.tasks_rehomed r.Metrics.tasks_lost
+           r.Metrics.swaps_attempted r.Metrics.swaps_successful r.Metrics.tasks_rescued
+           r.Metrics.tasks_shed_early
+           (r.Metrics.shed_volume /. 8000.)))
     runs;
   Buffer.contents buf
 
@@ -87,6 +91,23 @@ let fingerprint (r : Metrics.run) =
   it r.Metrics.tasks_rehomed;
   it r.Metrics.tasks_lost;
   fl r.Metrics.wasted;
+  (* Watchdog fields join the digest only when the watchdog acted, so
+     every pre-watchdog fingerprint — and every watchdog-off run — keeps
+     its historical value (the byte-identity the tests pin). A nonzero
+     shed_volume implies a nonzero tasks_shed_early, so the integer gate
+     is complete. *)
+  if
+    r.Metrics.swaps_attempted + r.Metrics.swaps_successful + r.Metrics.tasks_rescued
+    + r.Metrics.tasks_shed_early
+    > 0
+  then begin
+    Buffer.add_string buf "wd;";
+    it r.Metrics.swaps_attempted;
+    it r.Metrics.swaps_successful;
+    it r.Metrics.tasks_rescued;
+    it r.Metrics.tasks_shed_early;
+    fl r.Metrics.shed_volume
+  end;
   List.iter
     (fun (o : Metrics.outcome) ->
       it o.Metrics.task.Task.id;

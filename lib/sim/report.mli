@@ -10,8 +10,9 @@ val comparison_table : Metrics.run list -> string
 val csv_of_runs : Metrics.run list -> string
 (** One row per run:
     [algorithm,completed,total,remaining_gb,utilization,horizon_s,
-    plan_ms,events,flows_killed,tasks_rehomed,tasks_lost]. Header
-    included; floats in fixed notation. *)
+    plan_ms,events,flows_killed,tasks_rehomed,tasks_lost,
+    swaps_attempted,swaps_successful,tasks_rescued,tasks_shed_early,
+    shed_gb]. Header included; floats in fixed notation. *)
 
 val csv_of_outcomes : Metrics.run -> string
 (** One row per task:
@@ -29,4 +30,7 @@ val fingerprint : Metrics.run -> string
     outcome (floats rendered round-trip exact), but {e not}
     [plan_time], which is CPU time and varies run to run. Two runs of the same scenario fingerprint
     identically no matter how many domains executed the sweep around
-    them — the determinism check for {!S3_par.Sweep}. *)
+    them — the determinism check for {!S3_par.Sweep}. Watchdog counters
+    (swaps, rescues, sheds and the shed volume) are serialized only
+    when at least one is nonzero, so runs where the watchdog is off or
+    never intervenes keep their pre-watchdog digests byte-for-byte. *)

@@ -1,0 +1,41 @@
+Malformed specs must exit nonzero with a one-line human-readable
+message — no backtrace, no partial run.
+
+An unknown fault kind:
+
+  $ s3sim run --tasks 1 --faults 'boom@1:2'
+  s3sim: fault "boom@1:2": unknown kind "boom" or wrong arity
+  [124]
+
+A fault event with a bad number:
+
+  $ s3sim run --tasks 1 --faults 'crash@soon:5'
+  s3sim: fault "crash@soon:5": expected crash@TIME:SERVER
+  [124]
+
+A watchdog override that is not a number:
+
+  $ s3sim run --tasks 1 --watchdog 'slack=oops'
+  s3sim: watchdog slack: "oops" is not a number
+  [124]
+
+An unknown watchdog key:
+
+  $ s3sim run --tasks 1 --watchdog 'slck=1'
+  s3sim: watchdog "slck=1": unknown key "slck" (expected slack, max-swaps or backoff)
+  [124]
+
+An out-of-range watchdog value:
+
+  $ s3sim run --tasks 1 --watchdog 'backoff=0'
+  s3sim: Watchdog.v: backoff must be finite and > 0
+  [124]
+
+Well-formed specs run; the watchdog columns appear only when the
+watchdog is on:
+
+  $ s3sim run --tasks 2 --seed 3 -a lpst --watchdog default | grep -c 'rescued'
+  1
+  $ s3sim run --tasks 2 --seed 3 -a lpst | grep -c 'rescued'
+  0
+  [1]

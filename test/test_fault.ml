@@ -8,6 +8,7 @@
 module Engine = S3_sim.Engine
 module Metrics = S3_sim.Metrics
 module Report = S3_sim.Report
+module Watchdog = S3_sim.Watchdog
 module Fault = S3_fault.Fault
 module Registry = S3_core.Registry
 module Algorithm = S3_core.Algorithm
@@ -268,6 +269,221 @@ let test_rehoming_beats_no_reselection () =
     true
     (Metrics.completed with_r > Metrics.completed without)
 
+(* ---- the deadline watchdog ---- *)
+
+(* A pinned Link_degrade storm on the fig. 5 fabric: five source NICs
+   at 5% capacity from t=30 for 60 s. Without the watchdog LPST misses
+   five tasks; with it the two savable ones (unused clean spares exist)
+   are rescued and the three provably infeasible ones are shed early. *)
+let storm_scenario () =
+  let big, tasks = fig5_workload 3 in
+  let faults =
+    Fault.plan
+      (List.map
+         (fun s ->
+           { Fault.time = 30.;
+             kind =
+               Fault.Link_degrade
+                 { entity = T.server_entity big s; factor = 0.05; duration = 60. }
+           })
+         [ 10; 11; 12; 13; 14 ])
+  in
+  (big, tasks, faults)
+
+let test_watchdog_spec_roundtrip () =
+  Alcotest.(check string) "default round trip" "slack=0.5,max-swaps=3,backoff=1"
+    (Watchdog.to_string Watchdog.default);
+  (match Watchdog.of_string "slack=1.25,max_swaps=2,backoff=0.5" with
+   | Error e -> Alcotest.fail e
+   | Ok c ->
+     checkf "slack" 1.25 c.Watchdog.slack;
+     Alcotest.(check int) "max swaps (underscore alias)" 2 c.Watchdog.max_swaps;
+     checkf "backoff" 0.5 c.Watchdog.backoff;
+     (match Watchdog.of_string (Watchdog.to_string c) with
+      | Ok again ->
+        Alcotest.(check string) "stable" (Watchdog.to_string c) (Watchdog.to_string again)
+      | Error e -> Alcotest.fail e));
+  (match Watchdog.of_string "default" with
+   | Ok c ->
+     Alcotest.(check string) "'default' parses" (Watchdog.to_string Watchdog.default)
+       (Watchdog.to_string c)
+   | Error e -> Alcotest.fail e);
+  List.iter
+    (fun spec ->
+      match Watchdog.of_string spec with
+      | Ok _ -> Alcotest.failf "%S should not parse" spec
+      | Error e ->
+        Alcotest.(check bool) "one-line message" false (String.contains e '\n'))
+    [ "slack=oops"; "slck=1"; "slack"; "max-swaps=1.5"; "backoff=0"; "slack=-1";
+      "backoff=nan"
+    ]
+
+let test_watchdog_off_pinned_fingerprints () =
+  (* Byte-identity with pre-watchdog behavior: these four hex digests
+     were produced by the engine before the watchdog existed (same
+     scenarios, same seeds). A change here means the ?watchdog:None
+     path is no longer the old engine. *)
+  let big, tasks = fig5_workload 3 in
+  let fp ?faults name =
+    Report.fingerprint (Engine.run ?faults big (Registry.make name) tasks)
+  in
+  Alcotest.(check string) "plain lpst" "b8658d47b99bbf57fe724082deb231e1" (fp "lpst");
+  Alcotest.(check string) "plain fifo" "3d20960712d6af977147457b07d652f0" (fp "fifo");
+  Alcotest.(check string) "crash storm lpst" "b118987763130a22c1d53e880b6aa88c"
+    (fp ~faults:(crash_at 30. 5) "lpst");
+  let _, _, storm = storm_scenario () in
+  Alcotest.(check string) "degradation storm lpst, watchdog off"
+    "b8b3fc58321fc04152c1086da5b07ff3" (fp ~faults:storm "lpst")
+
+let test_watchdog_golden_storm_rescue () =
+  let big, tasks, faults = storm_scenario () in
+  let lpst () = Registry.make "lpst" in
+  let off = Engine.run ~faults big (lpst ()) tasks in
+  let on = Engine.run ~faults ~watchdog:Watchdog.default big (lpst ()) tasks in
+  let missed (r : Metrics.run) =
+    List.filter_map
+      (fun (o : Metrics.outcome) ->
+        if o.Metrics.completed then None else Some o.Metrics.task.Task.id)
+      r.Metrics.outcomes
+  in
+  Alcotest.(check (list int)) "the storm costs five tasks without the watchdog"
+    [ 13; 21; 26; 27; 40 ] (missed off);
+  Alcotest.(check int) "watchdog off never swaps" 0 off.Metrics.swaps_attempted;
+  (* The acceptance criterion: tasks that miss without the watchdog
+     complete on time with it. #21 and #40 have clean unused spares;
+     #13, #26 and #27 are infeasible on every source set (degraded
+     destination NIC or aggregate demand above residual capacity). *)
+  Alcotest.(check (list int)) "only the provably infeasible tasks still miss" [ 13; 26; 27 ]
+    (missed on);
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly more on-time completions (%d vs %d)" (Metrics.completed on)
+       (Metrics.completed off))
+    true
+    (Metrics.completed on > Metrics.completed off);
+  Alcotest.(check bool) "at least one task rescued" true (on.Metrics.tasks_rescued >= 1);
+  Alcotest.(check bool) "swaps actually happened" true (on.Metrics.swaps_successful >= 1);
+  Alcotest.(check int) "the doomed tasks were shed early" 3 on.Metrics.tasks_shed_early;
+  Alcotest.(check bool) "shed remainder captured" true (on.Metrics.shed_volume > 0.);
+  Alcotest.(check int) "still no clamping" 0 on.Metrics.clamp_events;
+  (* Watchdog runs replay byte-identically, fingerprint included. *)
+  let again = Engine.run ~faults ~watchdog:Watchdog.default big (lpst ()) tasks in
+  Alcotest.(check string) "watchdog replay is byte-identical" (Report.fingerprint on)
+    (Report.fingerprint again)
+
+let test_watchdog_golden_swap () =
+  (* Source NIC drops to 10% at t=0.3 with the deadline at 2 s: LPST
+     evicts the now-infeasible flow, the watchdog hedges it onto the
+     clean spare, and the restarted chunk finishes at 0.3 + 1.0. *)
+  let tight =
+    Task.v ~id:0 ~arrival:0. ~deadline:2. ~volume:1000. ~k:1 ~sources:[| 1; 2 |]
+      ~destination:0 ()
+  in
+  let faults =
+    Fault.plan
+      [ { Fault.time = 0.3;
+          kind =
+            Fault.Link_degrade
+              { entity = T.server_entity topo 1; factor = 0.1; duration = 10. }
+        }
+      ]
+  in
+  let run =
+    Engine.run ~faults ~watchdog:Watchdog.default topo (Registry.make "lpst") [ tight ]
+  in
+  Alcotest.(check int) "completed" 1 (Metrics.completed run);
+  let o = List.hd run.Metrics.outcomes in
+  checkf "swap restarts the chunk: 0.3 + 1.0" 1.3 o.Metrics.finish_time;
+  Alcotest.(check (array int)) "final source is the spare" [| 2 |] o.Metrics.sources;
+  checkf "both fetches transferred" 1300. run.Metrics.transferred;
+  checkf "the straggling partial fetch is waste" 300. run.Metrics.wasted;
+  Alcotest.(check int) "one swap attempted" 1 run.Metrics.swaps_attempted;
+  Alcotest.(check int) "one swap installed" 1 run.Metrics.swaps_successful;
+  Alcotest.(check int) "the task counts as rescued" 1 run.Metrics.tasks_rescued;
+  Alcotest.(check int) "nothing shed" 0 run.Metrics.tasks_shed_early;
+  Alcotest.(check int) "a swap is not a fault kill" 0 run.Metrics.flows_killed;
+  Alcotest.(check int) "a swap is not a re-homing" 0 run.Metrics.tasks_rehomed;
+  Alcotest.(check int) "no clamping" 0 run.Metrics.clamp_events
+
+let test_watchdog_golden_shed () =
+  (* The only source's NIC drops to 1% for longer than the deadline
+     window: no source set can finish, so the watchdog cancels the task
+     at t=0.5 instead of letting it burn bandwidth until t=10. *)
+  let faults =
+    Fault.plan
+      [ { Fault.time = 0.5;
+          kind =
+            Fault.Link_degrade
+              { entity = T.server_entity topo 1; factor = 0.01; duration = 20. }
+        }
+      ]
+  in
+  let run =
+    Engine.run ~faults ~watchdog:Watchdog.default topo (Registry.make "lpst")
+      [ one_task ~sources:[| 1 |] () ]
+  in
+  Alcotest.(check int) "completed" 0 (Metrics.completed run);
+  Alcotest.(check int) "shed early" 1 run.Metrics.tasks_shed_early;
+  let o = List.hd run.Metrics.outcomes in
+  checkf "remaining captured at the shed" 500. o.Metrics.remaining;
+  checkf "failures keep the deadline as finish time" 10. o.Metrics.finish_time;
+  checkf "delivered bits are the shed remainder, not waste" 500. run.Metrics.shed_volume;
+  checkf "nothing else wasted" 0. run.Metrics.wasted;
+  checkf "conservation" run.Metrics.transferred
+    (run.Metrics.wasted +. run.Metrics.shed_volume);
+  Alcotest.(check int) "no swaps burned on a hopeless task" 0 run.Metrics.swaps_successful;
+  Alcotest.(check int) "a shed is not a fault loss" 0 run.Metrics.tasks_lost
+
+let test_watchdog_without_reselect_sheds_only () =
+  (* An algorithm with no reselect hook cannot hedge, but shedding does
+     not need the hook. *)
+  let lpst = Registry.make "lpst" in
+  let frozen = { lpst with Algorithm.name = "LPST-frozen"; reselect = None } in
+  let degrade factor =
+    Fault.plan
+      [ { Fault.time = 0.3;
+          kind =
+            Fault.Link_degrade
+              { entity = T.server_entity topo 1; factor; duration = 20. }
+        }
+      ]
+  in
+  (* Savable-by-swap scenario: without a hook the task just misses. *)
+  let tight =
+    Task.v ~id:0 ~arrival:0. ~deadline:2. ~volume:1000. ~k:1 ~sources:[| 1; 2 |]
+      ~destination:0 ()
+  in
+  let r = Engine.run ~faults:(degrade 0.1) ~watchdog:Watchdog.default topo frozen [ tight ] in
+  Alcotest.(check int) "no hook, no swaps" 0 r.Metrics.swaps_attempted;
+  Alcotest.(check int) "task misses" 0 (Metrics.completed r);
+  (* Hopeless-on-every-source scenario: the shed path still fires. *)
+  let r2 =
+    Engine.run ~faults:(degrade 0.01) ~watchdog:Watchdog.default topo frozen
+      [ one_task ~sources:[| 1 |] () ]
+  in
+  Alcotest.(check int) "shedding works without the hook" 1 r2.Metrics.tasks_shed_early
+
+let test_watchdog_off_runs_have_zero_watchdog_fields () =
+  (* Every fault-free, watchdog-off golden run reports all-zero watchdog
+     metrics, and the original conservation law still holds bit-for-bit. *)
+  let big, tasks = fig5_workload 3 in
+  List.iter
+    (fun (r : Metrics.run) ->
+      Alcotest.(check int) "swaps_attempted" 0 r.Metrics.swaps_attempted;
+      Alcotest.(check int) "swaps_successful" 0 r.Metrics.swaps_successful;
+      Alcotest.(check int) "tasks_rescued" 0 r.Metrics.tasks_rescued;
+      Alcotest.(check int) "tasks_shed_early" 0 r.Metrics.tasks_shed_early;
+      checkf "shed_volume" 0. r.Metrics.shed_volume;
+      let useful =
+        List.fold_left
+          (fun acc (o : Metrics.outcome) ->
+            if o.Metrics.completed then acc +. Task.total_volume o.Metrics.task else acc)
+          0. r.Metrics.outcomes
+      in
+      Alcotest.(check (float (1e-6 *. Float.max 1. r.Metrics.transferred +. 1e-3)))
+        "original conservation law" r.Metrics.transferred (useful +. r.Metrics.wasted))
+    (List.map (fun n -> Engine.run big (Registry.make n) tasks) [ "lpst"; "fifo" ]
+    @ [ Engine.run topo (Registry.make "lpst") [ one_task () ] ])
+
 (* ---- Invalid_selection ---- *)
 
 let silent_alg select =
@@ -405,8 +621,11 @@ let chaos_scenario seed =
 
 (* Run one algorithm under one fault plan and check every invariant the
    chaos suite guarantees; returns None on success, Some reason on the
-   first violation. *)
-let chaos_violation name seed =
+   first violation. With [?watchdog] the same invariants must hold under
+   supervision (the on_event hook also sees every swapped-in flow, so
+   "no live flow reads a crashed server" covers watchdog swaps), plus
+   the budget bound and the extended conservation law. *)
+let chaos_violation ?watchdog name seed =
   let topo, tasks, faults = chaos_scenario seed in
   let replay = Fault.start topo faults in
   let last_t = ref neg_infinity in
@@ -424,7 +643,7 @@ let chaos_violation name seed =
           note "live flow writes a dead server")
       view.Problem.flows
   in
-  let run = Engine.run ~on_event:hook ~faults topo (Registry.make name) tasks in
+  let run = Engine.run ~on_event:hook ~faults ?watchdog topo (Registry.make name) tasks in
   if run.Metrics.clamp_events <> 0 then note "capacity clamped";
   if List.length run.Metrics.outcomes <> List.length tasks then note "outcome count";
   List.iter
@@ -437,21 +656,64 @@ let chaos_violation name seed =
         note "remaining exceeds the task")
     run.Metrics.outcomes;
   (* Conservation: every megabit moved is either part of a task that
-     completed on time or accounted as waste. *)
+     completed on time, accounted as waste, or the delivered remainder
+     of an early-shed task (always 0 without the watchdog). *)
   let useful =
     List.fold_left
       (fun acc (o : Metrics.outcome) ->
         if o.Metrics.completed then acc +. Task.total_volume o.Metrics.task else acc)
       0. run.Metrics.outcomes
   in
-  let drift = Float.abs (run.Metrics.transferred -. (useful +. run.Metrics.wasted)) in
+  let drift =
+    Float.abs
+      (run.Metrics.transferred -. (useful +. run.Metrics.wasted +. run.Metrics.shed_volume))
+  in
   if drift > 1e-6 *. Float.max 1. run.Metrics.transferred +. 1e-3 then
     note
-      (Printf.sprintf "conservation: moved %.3f <> useful %.3f + wasted %.3f"
-         run.Metrics.transferred useful run.Metrics.wasted);
+      (Printf.sprintf "conservation: moved %.3f <> useful %.3f + wasted %.3f + shed %.3f"
+         run.Metrics.transferred useful run.Metrics.wasted run.Metrics.shed_volume);
   if run.Metrics.flows_killed < run.Metrics.tasks_rehomed then
     note "re-homing without a killed flow";
+  (match watchdog with
+   | None ->
+     if
+       run.Metrics.swaps_attempted + run.Metrics.swaps_successful + run.Metrics.tasks_rescued
+       + run.Metrics.tasks_shed_early
+       > 0
+       || run.Metrics.shed_volume > 0.
+     then note "watchdog counters nonzero with the watchdog off"
+   | Some (cfg : Watchdog.config) ->
+     (* The per-task budget bounds total swaps; rescues and sheds are
+        disjoint task sets, each bounded by the task count. *)
+     let n = List.length run.Metrics.outcomes in
+     if run.Metrics.swaps_successful > cfg.Watchdog.max_swaps * n then
+       note "backoff budget exceeded";
+     if run.Metrics.swaps_successful > run.Metrics.swaps_attempted then
+       note "more swaps succeeded than were attempted";
+     if run.Metrics.tasks_rescued + run.Metrics.tasks_shed_early > n then
+       note "rescued + shed exceed the task count";
+     if run.Metrics.shed_volume > 0. && run.Metrics.tasks_shed_early = 0 then
+       note "shed volume without a shed task");
   !bad
+
+(* A random-but-seeded watchdog config, so every chaos case exercises a
+   different slack / budget / backoff corner. *)
+let chaos_watchdog seed =
+  let g = Prng.create (seed + 2) in
+  Watchdog.v ~slack:(Prng.float g 2.) ~max_swaps:(Prng.int g 5)
+    ~backoff:(0.25 +. Prng.float g 2.) ()
+
+let event_equal (a : Fault.event) (b : Fault.event) =
+  Float.equal a.Fault.time b.Fault.time
+  &&
+  match (a.Fault.kind, b.Fault.kind) with
+  | Fault.Server_crash x, Fault.Server_crash y
+  | Fault.Server_recover x, Fault.Server_recover y
+  | Fault.Rack_outage x, Fault.Rack_outage y -> x = y
+  | ( Fault.Link_degrade { entity = e1; factor = f1; duration = d1 },
+      Fault.Link_degrade { entity = e2; factor = f2; duration = d2 } ) ->
+    e1 = e2 && Float.equal f1 f2 && Float.equal d1 d2
+  | _ -> false
 
 let qcheck =
   let open QCheck in
@@ -478,7 +740,34 @@ let qcheck =
         in
         match Fault.of_string (Fault.to_string plan) with
         | Ok again -> String.equal (Fault.to_string plan) (Fault.to_string again)
-        | Error e -> Test.fail_reportf "seed %d: %s" seed e)
+        | Error e -> Test.fail_reportf "seed %d: %s" seed e);
+    Test.make ~name:"chaos: specs round-trip to bit-identical events" ~count:60 seed
+      (fun seed ->
+        (* Stronger than string stability: the parsed-back plan must
+           reproduce every float bit-for-bit, including times like
+           1/3 * horizon that %g used to truncate. *)
+        let g = Prng.create seed in
+        let plan =
+          Fault.random g topo ~horizon:(1. +. Prng.float g 500.) ~crashes:(Prng.int g 4)
+            ~rack_outages:(Prng.int g 3) ~degradations:(Prng.int g 4) ()
+        in
+        match Fault.of_string (Fault.to_string plan) with
+        | Ok again -> List.equal event_equal (Fault.events plan) (Fault.events again)
+        | Error e -> Test.fail_reportf "seed %d: %s" seed e);
+    Test.make ~name:"chaos: watchdog keeps every invariant" ~count:120 alg_and_seed
+      (fun (name, seed) ->
+        match chaos_violation ~watchdog:(chaos_watchdog seed) name seed with
+        | None -> true
+        | Some reason -> Test.fail_reportf "%s, seed %d (watchdog): %s" name seed reason);
+    Test.make ~name:"chaos: watchdog runs replay byte-identically" ~count:30 alg_and_seed
+      (fun (name, seed) ->
+        let once () =
+          let topo, tasks, faults = chaos_scenario seed in
+          Report.fingerprint
+            (Engine.run ~faults ~watchdog:(chaos_watchdog seed) topo (Registry.make name)
+               tasks)
+        in
+        String.equal (once ()) (once ()))
   ]
 
 (* ---- determinism under parallel sweeps ---- *)
@@ -492,6 +781,19 @@ let test_parallel_chaos_determinism () =
   let seq = Sweep.map ~domains:1 12 job in
   let par = Sweep.map ~domains:4 12 job in
   Alcotest.(check (array string)) "4-domain sweep equals sequential" seq par
+
+let test_parallel_watchdog_determinism () =
+  (* Supervised runs must stay deterministic under multicore sweeps
+     too — the watchdog state is all per-run, nothing shared. *)
+  let job idx =
+    let name = List.nth chaos_algorithms (idx mod List.length chaos_algorithms) in
+    let topo, tasks, faults = chaos_scenario (2000 + idx) in
+    Report.fingerprint
+      (Engine.run ~faults ~watchdog:(chaos_watchdog idx) topo (Registry.make name) tasks)
+  in
+  let seq = Sweep.map ~domains:1 8 job in
+  let par = Sweep.map ~domains:4 8 job in
+  Alcotest.(check (array string)) "4-domain watchdog sweep equals sequential" seq par
 
 let tests =
   ( "fault",
@@ -509,11 +811,19 @@ let tests =
       tc "golden: degradation" `Quick test_golden_degradation;
       tc "empty plan is identity" `Quick test_empty_plan_is_identity;
       tc "re-homing beats no reselection" `Quick test_rehoming_beats_no_reselection;
+      tc "watchdog spec round trip" `Quick test_watchdog_spec_roundtrip;
+      tc "watchdog off: pinned fingerprints" `Quick test_watchdog_off_pinned_fingerprints;
+      tc "watchdog golden: storm rescue" `Quick test_watchdog_golden_storm_rescue;
+      tc "watchdog golden: hedged swap" `Quick test_watchdog_golden_swap;
+      tc "watchdog golden: early shed" `Quick test_watchdog_golden_shed;
+      tc "watchdog without reselect" `Quick test_watchdog_without_reselect_sheds_only;
+      tc "watchdog off: zero fields" `Quick test_watchdog_off_runs_have_zero_watchdog_fields;
       tc "invalid selection" `Quick test_invalid_selection;
       tc "invalid reselection" `Quick test_invalid_reselection;
       tc "injected id collision" `Quick test_injected_id_collision_rejected;
       tc "closed-loop repair" `Quick test_closed_loop_repair;
       tc "closed-loop repair deterministic" `Quick test_closed_loop_repair_deterministic;
-      tc "parallel chaos determinism" `Quick test_parallel_chaos_determinism
+      tc "parallel chaos determinism" `Quick test_parallel_chaos_determinism;
+      tc "parallel watchdog determinism" `Quick test_parallel_watchdog_determinism
     ]
     @ List.map QCheck_alcotest.to_alcotest qcheck )

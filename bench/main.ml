@@ -9,6 +9,11 @@
                                            suite + fig5 scene engine
                                            runs, machine-readable
                                            results in BENCH_5.json
+     dune exec bench/main.exe -- scale     scale mode: 1040-server
+                                           leaf-spine, 1k/5k/10k active
+                                           tasks, per-event plan time +
+                                           incremental-vs-from-scratch
+                                           speedup in BENCH_6.json
 
    See bench/experiments.ml for the per-figure regenerators and
    EXPERIMENTS.md for paper-vs-measured. *)
@@ -174,7 +179,8 @@ let run_bench () =
             let r = Experiments.plan_scene_run ~m name in
             Printf.printf "%s m=%d: plan_time=%.4fs plan_calls=%d\n%!" name m
               r.S3_sim.Metrics.plan_time r.S3_sim.Metrics.plan_calls;
-            (name, m, r.S3_sim.Metrics.plan_time, r.S3_sim.Metrics.plan_calls))
+            (name, m, r.S3_sim.Metrics.plan_time, r.S3_sim.Metrics.plan_calls,
+             S3_sim.Report.fingerprint r))
           [ 50; 100 ])
       [ "fifo"; "disedf"; "lpst"; "lpall" ]
   in
@@ -221,12 +227,12 @@ let run_bench () =
     micro;
   Buffer.add_string b "  },\n  \"scenes\": [\n";
   List.iteri
-    (fun i (name, m, plan_time, plan_calls) ->
+    (fun i (name, m, plan_time, plan_calls, fp) ->
       Buffer.add_string b
         (Printf.sprintf
            "    { \"algorithm\": \"%s\", \"tasks\": %d, \"plan_time_s\": %.6f, \
-            \"plan_calls\": %d }%s\n"
-           (json_escape name) m plan_time plan_calls
+            \"plan_calls\": %d, \"fingerprint\": \"%s\" }%s\n"
+           (json_escape name) m plan_time plan_calls (json_escape fp)
            (if i < List.length scenes - 1 then "," else "")))
     scenes;
   Buffer.add_string b "  ],\n  \"storms\": [\n";
@@ -236,10 +242,11 @@ let run_bench () =
         (Printf.sprintf
            "    { \"algorithm\": \"lpst\", \"tasks\": %d, \"watchdog\": %b, \
             \"plan_time_s\": %.6f, \"plan_calls\": %d, \"swaps\": %d, \"rescued\": %d, \
-            \"shed\": %d }%s\n"
+            \"shed\": %d, \"fingerprint\": \"%s\" }%s\n"
            m watchdog r.S3_sim.Metrics.plan_time r.S3_sim.Metrics.plan_calls
            r.S3_sim.Metrics.swaps_successful r.S3_sim.Metrics.tasks_rescued
            r.S3_sim.Metrics.tasks_shed_early
+           (json_escape (S3_sim.Report.fingerprint r))
            (if i < List.length storms - 1 then "," else "")))
     storms;
   Buffer.add_string b "  ]\n}\n";
@@ -247,6 +254,74 @@ let run_bench () =
   output_string oc (Buffer.contents b);
   close_out oc;
   Printf.printf "\nwrote %s\n" bench_json_file
+
+(* Scale mode: the O(affected) engine on a 1040-server leaf-spine with
+   1k/5k/10k simultaneously active tasks, per-event plan time recorded
+   to BENCH_6.json, plus an end-to-end incremental-vs-from-scratch
+   pair on a scene small enough for the dense oracle to finish. *)
+let scale_json_file = "BENCH_6.json"
+
+let run_scale () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  print_endline "\n=== scale scenes (leaf-spine, 1040 servers, incremental engine) ===";
+  let scenes =
+    List.map
+      (fun m ->
+        let r, wall = timed (fun () -> Experiments.scale_scene_run ~m "lpst") in
+        let per_event_us =
+          1e6 *. r.S3_sim.Metrics.plan_time /. float_of_int (max 1 r.S3_sim.Metrics.plan_calls)
+        in
+        Printf.printf
+          "lpst m=%d: events=%d plan_calls=%d plan_time=%.3fs per_event=%.1fus wall=%.2fs\n%!"
+          m r.S3_sim.Metrics.events r.S3_sim.Metrics.plan_calls r.S3_sim.Metrics.plan_time
+          per_event_us wall;
+        (m, r, per_event_us, wall))
+      [ 1000; 5000; 10000 ]
+  in
+  print_endline "\n=== incremental vs from-scratch (same scene, end-to-end wall clock) ===";
+  let m_pair = 1000 in
+  let inc, inc_s = timed (fun () -> Experiments.scale_scene_run ~m:m_pair "lpst") in
+  let orc, orc_s =
+    timed (fun () -> Experiments.scale_scene_run ~incremental:false ~m:m_pair "lpst")
+  in
+  let fp_inc = S3_sim.Report.fingerprint inc and fp_orc = S3_sim.Report.fingerprint orc in
+  let identical = String.equal fp_inc fp_orc in
+  Printf.printf
+    "m=%d: incremental %.3fs, from-scratch %.3fs (speedup %.1fx), fingerprints identical=%b\n%!"
+    m_pair inc_s orc_s (orc_s /. inc_s) identical;
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"meta\": { \"git_rev\": \"%s\", \"ocaml\": \"%s\" },\n"
+       (json_escape (git_rev ()))
+       (json_escape Sys.ocaml_version));
+  Buffer.add_string b "  \"scenes\": [\n";
+  List.iteri
+    (fun i (m, r, per_event_us, wall) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"algorithm\": \"lpst\", \"servers\": %d, \"tasks\": %d, \"events\": %d, \
+            \"plan_calls\": %d, \"plan_time_s\": %.6f, \"per_event_plan_us\": %.2f, \
+            \"wall_s\": %.3f, \"fingerprint\": \"%s\" }%s\n"
+           (S3_net.Topology.servers (Experiments.scale_topo ()))
+           m r.S3_sim.Metrics.events r.S3_sim.Metrics.plan_calls r.S3_sim.Metrics.plan_time
+           per_event_us wall
+           (json_escape (S3_sim.Report.fingerprint r))
+           (if i < List.length scenes - 1 then "," else "")))
+    scenes;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  ],\n  \"speedup\": { \"tasks\": %d, \"incremental_s\": %.3f, \
+        \"full_recompute_s\": %.3f, \"speedup\": %.2f, \"fingerprints_identical\": %b }\n}\n"
+       m_pair inc_s orc_s (orc_s /. inc_s) identical);
+  let oc = open_out scale_json_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" scale_json_file
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
@@ -260,5 +335,6 @@ let () =
         match id with
         | "micro" -> ignore (run_bechamel ())
         | "bench" -> run_bench ()
+        | "scale" -> run_scale ()
         | id -> Experiments.run_experiment id)
       ids

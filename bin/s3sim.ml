@@ -100,6 +100,16 @@ let parse_faults = function
   | None -> Ok Fault.empty
   | Some spec -> Fault.of_string spec
 
+let no_incremental_arg =
+  Arg.(value & flag
+       & info [ "no-incremental" ]
+           ~doc:"Disable the O(affected) incremental engine and keyed LP solves; run the                  full-recompute oracle paths instead. Results are bit-identical either                  way; this flag only trades speed for simpler debugging.")
+
+let fingerprint_arg =
+  Arg.(value & flag
+       & info [ "fingerprint" ]
+           ~doc:"Print each run's deterministic fingerprint (MD5 over every                  timing-independent metric) after the table, one 'algorithm  digest'                  line per run.")
+
 let watchdog_arg =
   Arg.(value & opt (some string) None
        & info [ "watchdog" ] ~docv:"SPEC"
@@ -113,7 +123,8 @@ let parse_watchdog = function
   | Some spec -> (
     match S3_sim.Watchdog.of_string spec with Ok c -> Ok (Some c) | Error e -> Error e)
 
-let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv topo names tasks =
+let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv
+    ?(incremental = true) ?(fingerprint = false) topo names tasks =
   let config =
     { Engine.foreground =
         (if fg > 0. then Foreground.uniform ~max_frac:fg else Foreground.none);
@@ -125,9 +136,10 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv topo names ta
   let runs =
     List.map
       (fun name ->
-        let alg = Registry.make name in
-        if cloud then Emulator.run ~sim_config:config ~faults ?watchdog topo alg tasks
-        else Engine.run ~config ~faults ?watchdog topo alg tasks)
+        let alg = Registry.make ~incremental name in
+        if cloud then
+          Emulator.run ~sim_config:config ~faults ?watchdog ~incremental topo alg tasks
+        else Engine.run ~config ~faults ?watchdog ~incremental topo alg tasks)
       names
   in
   let rows =
@@ -170,6 +182,13 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv topo names ta
          ([ "algorithm"; "completed"; "remaining(GB)"; "util"; "makespan(s)"; "plan(ms)" ]
          @ extra_cols)
        rows);
+  if fingerprint then begin
+    print_newline ();
+    List.iter
+      (fun run ->
+        Printf.printf "%-12s %s\n" run.Metrics.algorithm (S3_sim.Report.fingerprint run))
+      runs
+  end;
   match csv with
   | None -> ()
   | Some "-" -> print_string (S3_sim.Report.csv_of_runs runs)
@@ -197,7 +216,8 @@ let run_cmd =
          & info [ "deadline-jitter" ] ~doc:"Relative deadline-factor spread, [0,1).")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs tasks rate chunk (n, k)
-      factor jitter fg seed cloud verbose faults_spec watchdog_spec csv =
+      factor jitter fg seed cloud verbose faults_spec watchdog_spec csv no_incremental
+      fingerprint =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
            parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec)
@@ -225,7 +245,8 @@ let run_cmd =
            (match watchdog with
             | None -> ""
             | Some w -> Printf.sprintf " | watchdog: %s" (S3_sim.Watchdog.to_string w));
-         report ~cloud ~fg ~seed ~faults ?watchdog ?csv topo names workload;
+         report ~cloud ~fg ~seed ~faults ?watchdog ?csv ~incremental:(not no_incremental)
+           ~fingerprint topo names workload;
          `Ok ()
        with Invalid_argument m -> `Error (false, m))
   in
@@ -234,7 +255,7 @@ let run_cmd =
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ tasks_arg $ rate_arg $ chunk_arg $ code_arg
              $ factor_arg $ jitter_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg
-             $ faults_arg $ watchdog_arg $ csv_arg))
+             $ faults_arg $ watchdog_arg $ csv_arg $ no_incremental_arg $ fingerprint_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a synthetic background-task workload.") term
 
@@ -252,7 +273,7 @@ let trace_cmd =
     Arg.(value & opt float 10. & info [ "deadline-factor" ] ~doc:"Deadline = factor x LRT.")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs file machines tasks chunk
-      factor fg seed cloud verbose faults_spec watchdog_spec csv =
+      factor fg seed cloud verbose faults_spec watchdog_spec csv no_incremental fingerprint =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
            parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec)
@@ -275,7 +296,8 @@ let trace_cmd =
            Trace.to_tasks g topo records ~chunk_size_mb:chunk ~deadline_factor:factor
          in
          Printf.printf "%s | %d trace records\n\n" (Topology.name topo) (List.length records);
-         report ~cloud ~fg ~seed ~faults ?watchdog ?csv topo names workload;
+         report ~cloud ~fg ~seed ~faults ?watchdog ?csv ~incremental:(not no_incremental)
+           ~fingerprint topo names workload;
          `Ok ()
        with
        | Invalid_argument m -> `Error (false, m)
@@ -286,7 +308,7 @@ let trace_cmd =
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ file_arg $ machines_arg $ tasks_arg $ chunk_arg
              $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ faults_arg
-             $ watchdog_arg $ csv_arg))
+             $ watchdog_arg $ csv_arg $ no_incremental_arg $ fingerprint_arg))
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate a Google-style arrival trace.") term
 

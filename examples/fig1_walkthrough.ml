@@ -33,7 +33,8 @@ let () =
     { Problem.now = 0.;
       topo;
       flows = [];
-      available = (fun e -> (S3_net.Topology.entity topo e).S3_net.Topology.capacity)
+      available = (fun e -> (S3_net.Topology.entity topo e).S3_net.Topology.capacity);
+      load = None
     }
   in
   print_endline "\nRemaining Time Flexibility at t=0 (deadline - volume/path capacity):";

@@ -35,6 +35,7 @@ val run :
   ?faults:S3_fault.Fault.t ->
   ?on_failure:(now:float -> server:int -> S3_sim.Metrics.Task.t list) ->
   ?watchdog:S3_sim.Watchdog.config ->
+  ?incremental:bool ->
   S3_net.Topology.t ->
   S3_core.Algorithm.t ->
   S3_sim.Metrics.Task.t list ->

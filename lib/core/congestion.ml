@@ -1,23 +1,44 @@
 module Task = S3_workload.Task
 module Prng = S3_util.Prng
 
-type t = (int, float) Hashtbl.t
+(* [base] lazily seeds an entity's factor from the engine-maintained
+   per-entity flow index (see {!Problem.view}[.load]): only entities a
+   caller actually touches are materialized, so Phase I costs
+   O(candidate paths) instead of O(all flows). The accessor promises
+   the same accumulation order as the eager scan below, so both
+   representations hold bit-identical factors. *)
+type t = {
+  tbl : (int, float) Hashtbl.t;
+  base : (int -> float) option;
+}
 
-let factor t e = Option.value ~default:0. (Hashtbl.find_opt t e)
+let factor t e =
+  match Hashtbl.find_opt t.tbl e with
+  | Some x -> x
+  | None ->
+    (match t.base with
+     | None -> 0.
+     | Some f ->
+       let x = f e in
+       Hashtbl.replace t.tbl e x;
+       x)
 
 let add_path t path lrb =
-  List.iter (fun e -> Hashtbl.replace t e (factor t e +. lrb)) path
+  List.iter (fun e -> Hashtbl.replace t.tbl e (factor t e +. lrb)) path
 
 let path_max t path = List.fold_left (fun acc e -> max acc (factor t e)) 0. path
 
 let of_view (v : Problem.view) =
-  let t = Hashtbl.create 64 in
-  List.iter
-    (fun f ->
-      let l = Rtf.flow_lrb v f in
-      if Float.is_finite l then add_path t (Problem.route v f) l)
-    v.Problem.flows;
-  t
+  match v.Problem.load with
+  | Some f -> { tbl = Hashtbl.create 64; base = Some f }
+  | None ->
+    let t = { tbl = Hashtbl.create 64; base = None } in
+    List.iter
+      (fun f ->
+        let l = Rtf.flow_lrb v f in
+        if Float.is_finite l then add_path t (Problem.route v f) l)
+      v.Problem.flows;
+    t
 
 let select_least_congested (v : Problem.view) (task : Task.t) =
   let t = of_view v in

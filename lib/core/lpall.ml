@@ -1,4 +1,5 @@
-let lpall ?(sources = Algorithm.Least_congested) ?backend () =
+let lpall ?(sources = Algorithm.Least_congested) ?backend ?(incremental = true)
+    ?(basis_reuse = false) () =
   let lp_state = S3_lp.Lp.create_state () in
   let allocate (v : Problem.view) =
     match v.Problem.flows with
@@ -14,7 +15,10 @@ let lpall ?(sources = Algorithm.Least_congested) ?backend () =
          interior and immune to rounding in the scale computation. *)
       let theta = theta *. (1. -. 1e-9) in
       let lower f = theta *. demand f in
-      (match Allocation.lp_allocate ?backend ~state:lp_state ~lower v flows with
+      (match
+         Allocation.lp_allocate ?backend ~state:lp_state ~incremental ~basis_reuse
+           ~lower v flows
+       with
        | Some rates -> rates
        | None ->
          (* Numerical fallback: the scaled demands themselves are

@@ -10,4 +10,8 @@
     deadlines (paper, Figs. 2–3 discussion). *)
 
 val lpall :
-  ?sources:Algorithm.source_policy -> ?backend:S3_lp.Lp.backend -> unit -> Algorithm.t
+  ?sources:Algorithm.source_policy -> ?backend:S3_lp.Lp.backend ->
+  ?incremental:bool -> ?basis_reuse:bool -> unit -> Algorithm.t
+(** [incremental] / [basis_reuse] as in {!Lpst.lpst}: block-decomposed
+    keyed LP solves (default on, bit-exact) and opt-in warm-started
+    re-solves (faster, not bit-exact). *)

@@ -13,6 +13,7 @@ type view = {
   topo : Topology.t;
   flows : flow list;
   available : int -> float;
+  load : (int -> float) option;
 }
 
 (* All planning-time routing goes through the topology's flat route

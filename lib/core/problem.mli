@@ -26,6 +26,13 @@ type view = {
   available : int -> float;  (** entity id -> megabits/s currently
                                  available to background traffic (raw
                                  capacity minus foreground load) *)
+  load : (int -> float) option;
+  (** entity id -> sum of the finite least-required bandwidths of the
+      view's flows crossing that entity, when the engine maintains the
+      per-entity flow index that makes this O(flows on entity) instead
+      of O(all flows). Must equal — bit-for-bit, same accumulation
+      order as the view's flow order — what {!Congestion.of_view}
+      computes from scratch; [None] when no index is available. *)
 }
 
 val route : view -> flow -> int list

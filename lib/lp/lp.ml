@@ -48,14 +48,72 @@ type snapshot = {
   p_objective_value : float;
 }
 
+(* ---- keyed solves (block decomposition) ----
+
+   When the caller names its variables and rows with stable external
+   keys (flow ids, entity ids), the packing LP decomposes along the
+   connected components of the row/column incidence graph: a pivot in
+   one component never touches another (all cross-component tableau
+   coefficients are exactly 0.0 and the pivot row-update skips zero
+   multipliers), and Dantzig's rule merely interleaves the per-block
+   pivot sequences, so solving the blocks separately is bit-identical
+   to the global solve. Per-block results are cached under the block's
+   smallest row key: a block whose rows, bounds, objective and lower
+   bounds are unchanged — and that would be solved by the same method —
+   reuses its previous solution verbatim, which is sound because the
+   solver is deterministic in its inputs. The global warm start of the
+   unkeyed path is replicated exactly: replayed per block, and if any
+   block's replay bails every block is re-solved cold, mirroring the
+   all-or-nothing fallback of {!Simplex.maximize_sparse}. *)
+
+type identity = {
+  var_keys : int array;
+  row_keys : int array;
+  basis_reuse : bool;
+}
+
+let identity ?(basis_reuse = false) ~var_keys ~row_keys () =
+  { var_keys; row_keys; basis_reuse }
+
+type block_entry = {
+  e_row_keys : int array;
+  e_rows : (int * float) list array;  (* coefficients keyed by var key *)
+  e_bounds : float array;
+  e_var_keys : int array;
+  e_obj : float array;
+  e_lower : float array;
+  e_warm : int array option;  (* warm basis this result was solved from *)
+  e_values : float array;  (* optimal y (above the lower bounds) *)
+  e_basis : int array option;  (* resulting basis, block-local columns *)
+  mutable e_stamp : int;
+}
+
+(* What the next keyed solve needs to reproduce the unkeyed path's
+   warm-start decision: the previous rows (positionally, in global
+   variable indices) and the previous stitched basis. *)
+type keyed_prev = {
+  pk_nvars : int;
+  pk_rows : (int * float) list array;
+  pk_basis : int array option;
+}
+
 type state = {
   ws : Simplex.workspace;
   pws : Packing.workspace;  (* CSR/heap arena for the Approx backend *)
   mutable prev : snapshot option;
+  blocks : (int, block_entry) Hashtbl.t;  (* keyed path: per-block cache *)
+  mutable keyed_prev : keyed_prev option;
+  mutable solve_stamp : int;
 }
 
 let create_state () =
-  { ws = Simplex.create_workspace (); pws = Packing.create_workspace (); prev = None }
+  { ws = Simplex.create_workspace ();
+    pws = Packing.create_workspace ();
+    prev = None;
+    blocks = Hashtbl.create 64;
+    keyed_prev = None;
+    solve_stamp = 0
+  }
 
 let make ~nvars ~objective ?lower constraints =
   if nvars < 0 then invalid_arg "Lp.make: negative nvars";
@@ -171,7 +229,308 @@ let warm_hint st p cons =
     end
   | _ -> None
 
-let solve ?(backend = Exact) ?state p =
+(* Union-find with path compression; smaller root wins so block
+   numbering is independent of union order. *)
+let uf_find uf x =
+  let rec root x = if uf.(x) = x then x else root uf.(x) in
+  let r = root x in
+  let rec compress x =
+    if uf.(x) <> r then begin
+      let nx = uf.(x) in
+      uf.(x) <- r;
+      compress nx
+    end
+  in
+  compress x;
+  r
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra < rb then uf.(rb) <- ra else if rb < ra then uf.(ra) <- rb
+
+(* Everything about one block needed to solve or cache it. *)
+type block_prep = {
+  r_vars : int array;  (* global variable indices, ascending *)
+  r_rows : int array;  (* global row indices, ascending *)
+  r_sub_rows : (int * float) list array;
+  r_keyed_rows : (int * float) list array;
+  r_sub_rhs : float array;
+  r_bounds : float array;
+  r_sub_obj : float array;
+  r_sub_lower : float array;
+  r_var_keys : int array;
+  r_row_keys : int array;
+  r_store_key : int;
+}
+
+exception Bail_to_cold
+
+let exact_keyed st (id : identity) p cons =
+  let n = p.nvars and m = Array.length cons in
+  if Array.length id.var_keys <> n then invalid_arg "Lp.solve: identity var_keys length";
+  if Array.length id.row_keys <> m then invalid_arg "Lp.solve: identity row_keys length";
+  (* A variable in no constraint maximizes unboundedly exactly when the
+     cold solver's entering rule (reduced cost > 1e-9) would select it —
+     but the cold solver runs phase 1 first, so infeasibility of the
+     constrained part takes precedence over that unboundedness. The flag
+     is folded into the error scan below, never returned early. *)
+  let in_row = Array.make n false in
+  Array.iter (fun c -> List.iter (fun (j, _) -> in_row.(j) <- true) c.coeffs) cons;
+  let free_unbounded = ref false in
+  for j = 0 to n - 1 do
+    if (not in_row.(j)) && p.objective.(j) > 1e-9 then free_unbounded := true
+  done;
+  begin
+    st.solve_stamp <- st.solve_stamp + 1;
+    (* Connected components over variables [0, n) and rows [n, n + m). *)
+    let uf = Array.init (n + m) Fun.id in
+    Array.iteri (fun i c -> List.iter (fun (j, _) -> uf_union uf j (n + i)) c.coeffs) cons;
+    let bid = Hashtbl.create 32 in
+    let nblocks = ref 0 in
+    let block_of x =
+      let r = uf_find uf x in
+      match Hashtbl.find_opt bid r with
+      | Some b -> b
+      | None ->
+        let b = !nblocks in
+        incr nblocks;
+        Hashtbl.replace bid r b;
+        b
+    in
+    let var_block = Array.init n (fun j -> if in_row.(j) then block_of j else -1) in
+    let row_block = Array.init m (fun i -> block_of (n + i)) in
+    let nb = !nblocks in
+    let bvars = Array.make nb [] and brows = Array.make nb [] in
+    for j = n - 1 downto 0 do
+      if var_block.(j) >= 0 then bvars.(var_block.(j)) <- j :: bvars.(var_block.(j))
+    done;
+    for i = m - 1 downto 0 do
+      brows.(row_block.(i)) <- i :: brows.(row_block.(i))
+    done;
+    let shifted = shifted_rhs p cons in
+    let prep b =
+      let vars = Array.of_list bvars.(b) and rows = Array.of_list brows.(b) in
+      let vpos = Hashtbl.create (2 * Array.length vars) in
+      Array.iteri (fun pos j -> Hashtbl.replace vpos j pos) vars;
+      let sub_rows =
+        Array.map
+          (* lint: allow partial-stdlib — union-find put every row in the
+             component of all its variables, so each row variable is in
+             this block's vpos by construction *)
+          (fun i -> List.map (fun (j, a) -> (Hashtbl.find vpos j, a)) cons.(i).coeffs)
+          rows
+      in
+      let keyed_rows =
+        Array.map
+          (fun i -> List.map (fun (j, a) -> (id.var_keys.(j), a)) cons.(i).coeffs)
+          rows
+      in
+      let row_keys = Array.map (fun i -> id.row_keys.(i)) rows in
+      { r_vars = vars;
+        r_rows = rows;
+        r_sub_rows = sub_rows;
+        r_keyed_rows = keyed_rows;
+        r_sub_rhs = Array.map (fun i -> shifted.(i)) rows;
+        r_bounds = Array.map (fun i -> cons.(i).bound) rows;
+        r_sub_obj = Array.map (fun j -> p.objective.(j)) vars;
+        r_sub_lower = Array.map (fun j -> p.lower.(j)) vars;
+        r_var_keys = Array.map (fun j -> id.var_keys.(j)) vars;
+        r_row_keys = row_keys;
+        r_store_key = row_keys.(0)
+      }
+    in
+    let preps = Array.init nb prep in
+    (* The unkeyed path's warm-start decision, reproduced verbatim: the
+       old rows must be a coefficient-wise positional prefix of the new
+       ones with variables only appended; the old basis then remaps by
+       index arithmetic alone (structural columns keep their index,
+       slack of old row i becomes slack of row i, new rows start on
+       their own slack). *)
+    let warm_global =
+      if id.basis_reuse then None
+      else
+        match st.keyed_prev with
+        | Some { pk_nvars; pk_rows; pk_basis = Some basis }
+          when pk_nvars <= n && Array.length pk_rows <= m ->
+          let pm = Array.length pk_rows in
+          let ok = ref true in
+          for i = 0 to pm - 1 do
+            if !ok && not (cons.(i).coeffs = pk_rows.(i)) then ok := false
+          done;
+          if not !ok then None
+          else
+            Some
+              (Array.init m (fun i ->
+                   if i >= pm then n + i
+                   else begin
+                     let c = basis.(i) in
+                     if c < pk_nvars then c else n + (c - pk_nvars)
+                   end))
+        | _ -> None
+    in
+    (* Solve one block under a fixed method. [warm_local = None] means
+       cold. Raises [Bail_to_cold] when a warm replay cannot be
+       installed, so the caller can rerun every block cold — the exact
+       analogue of the unkeyed path's global fallback. *)
+    let solve_one ~warm_local pr =
+      let cached =
+        match Hashtbl.find_opt st.blocks pr.r_store_key with
+        | Some e
+          when e.e_row_keys = pr.r_row_keys
+               && e.e_var_keys = pr.r_var_keys
+               && e.e_rows = pr.r_keyed_rows
+               && e.e_bounds = pr.r_bounds
+               && e.e_obj = pr.r_sub_obj
+               && e.e_lower = pr.r_sub_lower
+               && e.e_warm = warm_local ->
+          e.e_stamp <- st.solve_stamp;
+          Some (Ok (e.e_values, e.e_basis))
+        | _ -> None
+      in
+      match cached with
+      | Some r -> (r, warm_local, false)
+      | None ->
+        let result =
+          match warm_local with
+          | Some w -> (
+            match
+              Simplex.warm_solve ~dual:id.basis_reuse st.ws ~obj:pr.r_sub_obj
+                ~rows:pr.r_sub_rows ~rhs:pr.r_sub_rhs ~warm:w
+            with
+            | Some r -> r
+            | None ->
+              if id.basis_reuse then
+                (* independent blocks: a stale basis only costs this
+                   block a cold solve *)
+                Simplex.maximize_sparse ~ws:st.ws ~obj:pr.r_sub_obj ~rows:pr.r_sub_rows
+                  ~rhs:pr.r_sub_rhs ()
+              else raise Bail_to_cold)
+          | None ->
+            Simplex.maximize_sparse ~ws:st.ws ~obj:pr.r_sub_obj ~rows:pr.r_sub_rows
+              ~rhs:pr.r_sub_rhs ()
+        in
+        (result, warm_local, true)
+    in
+    let run_pass ~warm_of =
+      Array.map (fun pr -> (pr, solve_one ~warm_local:(warm_of pr) pr)) preps
+    in
+    let results =
+      match warm_global with
+      | None when not id.basis_reuse -> run_pass ~warm_of:(fun _ -> None)
+      | None ->
+        (* basis_reuse: each block replays its own previous basis when
+           its structure is unchanged, with the dual-simplex repair for
+           drifted bounds; anything stale goes cold independently. *)
+        run_pass ~warm_of:(fun pr ->
+            match Hashtbl.find_opt st.blocks pr.r_store_key with
+            | Some e
+              when e.e_row_keys = pr.r_row_keys
+                   && e.e_var_keys = pr.r_var_keys
+                   && e.e_rows = pr.r_keyed_rows ->
+              e.e_basis
+            | _ -> None)
+      | Some g -> (
+        (* remap the global warm basis into each block's local columns *)
+        let warm_of pr =
+          let vpos = Hashtbl.create (2 * Array.length pr.r_vars) in
+          Array.iteri (fun pos j -> Hashtbl.replace vpos j pos) pr.r_vars;
+          let rpos = Hashtbl.create (2 * Array.length pr.r_rows) in
+          Array.iteri (fun pos i -> Hashtbl.replace rpos i pos) pr.r_rows;
+          let n_b = Array.length pr.r_vars in
+          match
+            Array.map
+              (fun i ->
+                let c = g.(i) in
+                (* lint: allow partial-stdlib — Not_found is the detection
+                   mechanism: a warm basic column outside this block means
+                   a stale hint, and the handler below turns exactly that
+                   exception into Bail_to_cold *)
+                if c < n then Hashtbl.find vpos c else n_b + Hashtbl.find rpos (c - n))
+              pr.r_rows
+          with
+          | w -> Some w
+          | exception Not_found ->
+            (* a basic column escaped its block: can only mean the hint
+               is stale in a way the unkeyed path would also reject *)
+            raise Bail_to_cold
+        in
+        try run_pass ~warm_of with Bail_to_cold -> run_pass ~warm_of:(fun _ -> None))
+    in
+    let err = ref None in
+    Array.iter
+      (fun (_, (r, _, _)) ->
+        match r with
+        | Error `Infeasible -> err := Some Infeasible
+        | Error `Unbounded -> if !err <> Some Infeasible then err := Some Unbounded
+        | Ok _ -> ())
+      results;
+    if !free_unbounded && !err <> Some Infeasible then err := Some Unbounded;
+    match !err with
+    | Some e ->
+      st.prev <- None;
+      st.keyed_prev <- None;
+      Error e
+    | None ->
+      (* Commit: scatter block solutions, stitch the global basis, and
+         refresh the per-block cache. *)
+      let y = Array.make n 0. in
+      let basis_ok = ref true in
+      let global_basis = Array.make m 0 in
+      Array.iter
+        (fun (pr, (r, warm_used, fresh)) ->
+          match r with
+          | Error _ -> assert false
+          | Ok (by, bbasis) ->
+            Array.iteri (fun pos j -> y.(j) <- by.(pos)) pr.r_vars;
+            (match bbasis with
+             | None -> basis_ok := false
+             | Some b ->
+               let n_b = Array.length pr.r_vars in
+               Array.iteri
+                 (fun li i ->
+                   let c = b.(li) in
+                   global_basis.(i) <-
+                     (if c < n_b then pr.r_vars.(c) else n + pr.r_rows.(c - n_b)))
+                 pr.r_rows);
+            if fresh then
+              Hashtbl.replace st.blocks pr.r_store_key
+                { e_row_keys = pr.r_row_keys;
+                  e_rows = pr.r_keyed_rows;
+                  e_bounds = pr.r_bounds;
+                  e_var_keys = pr.r_var_keys;
+                  e_obj = pr.r_sub_obj;
+                  e_lower = pr.r_sub_lower;
+                  e_warm = warm_used;
+                  e_values = by;
+                  e_basis = bbasis;
+                  e_stamp = st.solve_stamp
+                })
+        results;
+      let stitched = if !basis_ok then Some global_basis else None in
+      let s = finish p y in
+      st.prev <-
+        Some
+          { p_nvars = n;
+            p_cons = cons;
+            p_obj = Array.copy p.objective;
+            p_lower = Array.copy p.lower;
+            p_basis = stitched;
+            p_values = Array.copy s.values;
+            p_objective_value = s.objective_value
+          };
+      st.keyed_prev <-
+        Some
+          { pk_nvars = n; pk_rows = Array.map (fun c -> c.coeffs) cons; pk_basis = stitched };
+      (* Occasional sweep: drop cache entries for blocks that have not
+         appeared in a while (merged away, departed tasks). *)
+      if st.solve_stamp land 255 = 0 then
+        Hashtbl.iter
+          (fun k e -> if e.e_stamp < st.solve_stamp - 16 then Hashtbl.remove st.blocks k)
+          (Hashtbl.copy st.blocks);
+      Ok s
+  end
+
+let solve ?(backend = Exact) ?state ?identity:ident p =
   let exact () =
     let cons = Array.of_list p.constraints in
     match state with
@@ -190,6 +549,9 @@ let solve ?(backend = Exact) ?state p =
         let s = finish p y in
         Option.iter
           (fun st ->
+            (* a plain solve breaks the keyed path's solve-to-solve
+               continuity; invalidate rather than risk a stale replay *)
+            st.keyed_prev <- None;
             st.prev <-
               Some
                 { p_nvars = p.nvars;
@@ -203,13 +565,25 @@ let solve ?(backend = Exact) ?state p =
           state;
         Ok s
       | Error e ->
-        Option.iter (fun st -> st.prev <- None) state;
+        Option.iter
+          (fun st ->
+            st.prev <- None;
+            st.keyed_prev <- None)
+          state;
         (match e with
          | `Infeasible -> Error Infeasible
          | `Unbounded -> Error Unbounded))
   in
   match backend with
-  | Exact -> exact ()
+  | Exact -> (
+    match (state, ident) with
+    | Some st, Some id -> (
+      let cons = Array.of_list p.constraints in
+      match st.prev with
+      | Some pv when snapshot_matches pv p cons ->
+        Ok { values = Array.copy pv.p_values; objective_value = pv.p_objective_value }
+      | _ -> exact_keyed st id p cons)
+    | _ -> exact ())
   | Approx eps -> (
     (* Sparse view after the lower-bound substitution x = lower + y:
        canonical ascending rows plus the shifted bounds — no dense m x n

@@ -51,6 +51,33 @@ type state
 
 val create_state : unit -> state
 
+type identity
+(** Stable external names for a problem's variables and rows (flow ids,
+    entity ids). Naming them lets {!solve} decompose the LP along the
+    connected components of the row/column incidence graph and cache
+    per-block solutions across consecutive solves: a block untouched by
+    the latest change is recognized by its keys even when the global
+    variable numbering shifted, and its cached solution is returned
+    without re-solving. Block decomposition and caching are bit-exact
+    with respect to the unkeyed path — cross-block tableau coefficients
+    are exactly zero, pivot updates skip zero multipliers, and the
+    entering rule only interleaves per-block pivot sequences — so keyed
+    solves return byte-identical solutions, only faster. Keys must be
+    unique within a solve and stable across solves. *)
+
+val identity : ?basis_reuse:bool -> var_keys:int array -> row_keys:int array -> unit -> identity
+(** [identity ~var_keys ~row_keys ()] names variable [j] with
+    [var_keys.(j)] and constraint row [i] with [row_keys.(i)].
+
+    [basis_reuse] (default [false]) additionally re-solves a block
+    whose structure is unchanged from its previous optimal basis, with
+    a dual-simplex repair when drifted bounds left that basis primal
+    infeasible, falling back to a from-scratch solve for that block
+    when the basis is stale. This is faster on slowly-drifting problem
+    streams but may select a different vertex among alternative optima
+    than a cold solve, so it forfeits the bit-exactness guarantee —
+    leave it off when results must replay byte-identically. *)
+
 val make :
   nvars:int -> objective:float array -> ?lower:float array ->
   constr list -> problem
@@ -58,11 +85,18 @@ val make :
     to all zeros. Raises [Invalid_argument] on dimension mismatches,
     out-of-range variable indices, or negative lower bounds. *)
 
-val solve : ?backend:backend -> ?state:state -> problem -> (solution, error) result
+val solve :
+  ?backend:backend -> ?state:state -> ?identity:identity -> problem ->
+  (solution, error) result
 (** Solve the problem. The returned [values] satisfy every constraint
     up to a small numerical tolerance and respect the lower bounds.
     [state] enables workspace reuse, warm starts and solution caching
-    across consecutive solves (see {!state}). *)
+    across consecutive solves (see {!state}). [identity] (requires
+    [state], [Exact] backend; ignored otherwise) enables block
+    decomposition and per-block caching (see {!identity}); a stream of
+    related solves through one state should pass it consistently —
+    mixing keyed and unkeyed solves on one state is allowed but resets
+    the keyed continuity. *)
 
 val feasible : ?tol:float -> problem -> float array -> bool
 (** [feasible p x] checks [x] against all constraints and lower bounds

@@ -20,9 +20,25 @@ type workspace
 
 val create_workspace : unit -> workspace
 
+val warm_solve :
+  ?dual:bool ->
+  workspace ->
+  obj:float array ->
+  rows:(int * float) list array ->
+  rhs:float array ->
+  warm:int array ->
+  (float array * int array option, [ `Infeasible | `Unbounded ]) result option
+(** Low-level warm start: replay [warm] (same column convention as
+    {!maximize_sparse}) and re-optimize. Returns [None] when the basis
+    cannot be installed or is primal infeasible (and [dual] is off) —
+    unlike {!maximize_sparse} there is no silent cold fallback, so a
+    caller orchestrating several related solves can observe the bail
+    and fall back for all of them coherently. *)
+
 val maximize_sparse :
   ?ws:workspace ->
   ?warm:int array ->
+  ?dual:bool ->
   obj:float array ->
   rows:(int * float) list array ->
   rhs:float array ->
@@ -40,7 +56,15 @@ val maximize_sparse :
     The basis is installed by explicit pivots and used only if the
     resulting basic solution is primal feasible; on any mismatch the
     solver silently falls back to a cold two-phase solve, so a stale or
-    wrong hint can cost time but never correctness. *)
+    wrong hint can cost time but never correctness.
+
+    [dual] (default [false]) additionally repairs a replayed basis
+    whose right-hand side went negative — the bounds-drift case where
+    capacity shrank or lower bounds grew past the old vertex — with a
+    bounded dual-simplex phase before re-optimizing, instead of
+    discarding the basis. The repair preserves optimality but may
+    select a different vertex among alternative optima than a cold
+    solve would, so leave it off when bit-identical results matter. *)
 
 val maximize :
   obj:float array ->

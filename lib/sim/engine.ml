@@ -49,6 +49,7 @@ type live_flow = {
 }
 
 type live_task = {
+  seq : int;  (* spawn sequence number; [!active] is sorted by it, descending *)
   task : Task.t;
   lflows : live_flow array;
   mutable resolved : bool;  (* flows gone: completed or abandoned *)
@@ -59,7 +60,8 @@ let volume_epsilon = 1e-6  (* megabits; ~0.1 byte *)
 let time_epsilon = 1e-9
 
 let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
-    ?(faults = Fault.empty) ?on_failure ?watchdog topo (alg : Algorithm.t) tasks =
+    ?(faults = Fault.empty) ?on_failure ?watchdog ?(incremental = true) topo
+    (alg : Algorithm.t) tasks =
   let pending = Array.of_list (List.sort Task.compare_arrival tasks) in
   let validate_task (t : Task.t) =
     let ok s = s >= 0 && s < Topology.servers topo in
@@ -82,6 +84,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   let active = ref [] in  (* reverse arrival order *)
   let next_pending = ref 0 in
   let next_flow_id = ref 0 in
+  let next_seq = ref 0 in
   let now = ref 0. in
   let outcomes = Hashtbl.create (Array.length pending * 2) in
   let plan_time = ref 0. and plan_calls = ref 0 in
@@ -121,8 +124,63 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
      flows whose route crosses e; flows_of.(e) = those flows. *)
   let usage = Array.make nent 0. in
   let flows_of = Array.make nent [] in
+  (* ---- O(affected) indexes (incremental mode only) ----
+     [ent_flows.(e)] holds every live flow whose route crosses [e],
+     keyed by flow id with its (task seq, slot) position, so anything
+     per-entity — congestion factors, clamp victims, crash candidates —
+     is read off the bucket instead of scanning all flows. Buckets are
+     maintained eagerly at every spawn / kill / completion, mirroring
+     the view predicate exactly: a flow is bucketed iff its task is
+     unresolved and it has volume remaining. *)
+  let ent_flows : (int, int * int * live_task * live_flow) Hashtbl.t array =
+    Array.init (if incremental then nent else 0) (fun _ -> Hashtbl.create 4)
+  in
+  let tasks_by_dest : (int, live_task list ref) Hashtbl.t = Hashtbl.create 64 in
+  let index_add lt slot f =
+    if incremental then
+      Array.iter (fun e -> Hashtbl.replace ent_flows.(e) f.flow_id (lt.seq, slot, lt, f)) f.route
+  in
+  let index_remove f =
+    if incremental then Array.iter (fun e -> Hashtbl.remove ent_flows.(e) f.flow_id) f.route
+  in
+  (* Dirty capacity entities: usage or availability may have moved since
+     the last clamp, so only these need re-checking. The invariant
+     "not dirty => usage <= available + 1e-6" is restored by every
+     clamp and preserved by marking on every rate change, fault change
+     and foreground redraw. *)
+  let dirty = Array.make (if incremental then nent else 0) false in
+  let dirty_list = ref [] in
+  let mark_dirty e =
+    if not dirty.(e) then begin
+      dirty.(e) <- true;
+      dirty_list := e :: !dirty_list
+    end
+  in
+  let fg_generation = ref (Foreground.generation fg) in
   let live_flows lt =
     Array.to_list lt.lflows |> List.filter (fun f -> f.remaining > 0.)
+  in
+  (* Per-entity congestion load for Phase I: the sum of finite LRBs of
+     the bucket's flows, folded in view order — (task seq, slot)
+     ascending is exactly the order [Congestion.of_view] walks the
+     flow list, so the lazy accessor and the eager scan accumulate the
+     same floats in the same order and agree bit-for-bit. *)
+  let entity_load e =
+    let entries =
+      Hashtbl.fold
+        (fun _ (seq, slot, lt, f) acc ->
+          if (not lt.resolved) && f.remaining > 0. then (seq, slot, lt, f) :: acc else acc)
+        ent_flows.(e) []
+      |> List.sort (fun (sa, la, _, _) (sb, lb, _, _) ->
+             match compare sa sb with 0 -> compare la lb | c -> c)
+    in
+    List.fold_left
+      (fun acc (_, _, lt, f) ->
+        let l =
+          Rtf.lrb ~now:!now ~deadline:lt.task.Task.deadline ~remaining:f.remaining
+        in
+        if Float.is_finite l then acc +. l else acc)
+      0. entries
   in
   let make_view () =
     let flows =
@@ -139,7 +197,12 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                    })
                  (live_flows lt))
     in
-    { Problem.now = !now; topo; flows; available = avail }
+    { Problem.now = !now;
+      topo;
+      flows;
+      available = avail;
+      load = (if incremental then Some entity_load else None)
+    }
   in
   (* One pass over the live flows refreshes the usage/incidence
      tables; every later rate change goes through [scale_flow_rate] so
@@ -165,11 +228,28 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     if r <> f.rate then begin
       let d = r -. f.rate in
       f.rate <- r;
-      Array.iter (fun e -> usage.(e) <- usage.(e) +. d) f.route
+      Array.iter (fun e -> usage.(e) <- usage.(e) +. d) f.route;
+      if incremental then Array.iter mark_dirty f.route
     end
   in
   (* Scale any over-committed entity's flows down proportionally; a
      correct algorithm never triggers this. *)
+  let clamp_entity e a =
+    Log.warn (fun m ->
+        m "t=%.3f clamping entity %d: allocated %.3f > available %.3f" !now e usage.(e) a);
+    let scale = max 0. (a /. usage.(e)) in
+    let victims =
+      if incremental then
+        (* Same flows the oracle's [flows_of] would list; each is scaled
+           independently, so victim order cannot change the rates. *)
+        Hashtbl.fold (fun _ (_, _, lt, f) acc -> if lt.resolved then acc else f :: acc)
+          ent_flows.(e) []
+      else flows_of.(e)
+    in
+    List.iter
+      (fun f -> if f.rate > 0. && f.remaining > 0. then set_flow_rate f (f.rate *. scale))
+      victims
+  in
   let clamp_rates () =
     let clamped = ref false in
     let pass () =
@@ -179,15 +259,36 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
         if usage.(e) > a +. 1e-6 then begin
           violated := true;
           clamped := true;
-          Log.warn (fun m ->
-              m "t=%.3f clamping entity %d: allocated %.3f > available %.3f" !now e usage.(e) a);
-          let scale = max 0. (a /. usage.(e)) in
-          List.iter
-            (fun f ->
-              if f.rate > 0. && f.remaining > 0. then set_flow_rate f (f.rate *. scale))
-            flows_of.(e)
+          clamp_entity e a
         end
       done;
+      !violated
+    in
+    let rec go n = if n > 0 && pass () then go (n - 1) in
+    go 10;
+    if !clamped then incr clamp_events
+  in
+  (* Incremental clamp: only dirty entities can be violated (clean ones
+     kept their usage and availability since the last clamp, which left
+     them satisfied). Each pass snapshots the dirty set in ascending
+     entity order — the oracle's scan order — and scaling re-marks the
+     victims' routes for the next pass. *)
+  let clamp_rates_incremental () =
+    let clamped = ref false in
+    let pass () =
+      let snapshot = List.sort_uniq compare !dirty_list in
+      dirty_list := [];
+      List.iter (fun e -> dirty.(e) <- false) snapshot;
+      let violated = ref false in
+      List.iter
+        (fun e ->
+          let a = avail e in
+          if usage.(e) > a +. 1e-6 then begin
+            violated := true;
+            clamped := true;
+            clamp_entity e a
+          end)
+        snapshot;
       !violated
     in
     let rec go n = if n > 0 && pass () then go (n - 1) in
@@ -202,22 +303,45 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     incr plan_calls;
     let tbl = Hashtbl.create 64 in
     List.iter (fun (fid, r) -> Hashtbl.replace tbl fid (max 0. r)) rates;
-    List.iter
-      (fun lt ->
-        Array.iter
-          (fun f -> f.rate <- Option.value ~default:0. (Hashtbl.find_opt tbl f.flow_id))
-          lt.lflows)
-      !active;
-    rebuild_usage ();
-    clamp_rates ();
+    if incremental then begin
+      (* Delta path: every rate change flows through [set_flow_rate], so
+         the usage table and the dirty set stay exact without the full
+         rebuild. Dead flows (resolved task or no volume left) already
+         hold rate 0 and are skipped — the oracle writes 0 over them and
+         rebuilds, landing in the same state. *)
+      List.iter
+        (fun lt ->
+          if not lt.resolved then
+            Array.iter
+              (fun f ->
+                if f.remaining > 0. then
+                  set_flow_rate f (Option.value ~default:0. (Hashtbl.find_opt tbl f.flow_id)))
+              lt.lflows)
+        !active;
+      clamp_rates_incremental ()
+    end
+    else begin
+      List.iter
+        (fun lt ->
+          Array.iter
+            (fun f -> f.rate <- Option.value ~default:0. (Hashtbl.find_opt tbl f.flow_id))
+            lt.lflows)
+        !active;
+      rebuild_usage ();
+      clamp_rates ()
+    end;
     (* Data-plane distortion: applied after clamping and only ever
-       downward, so feasibility is preserved. *)
+       downward, so feasibility is preserved. The incremental path keeps
+       the usage table exact through the distortion (the oracle's next
+       rebuild absorbs it instead). *)
     List.iter
       (fun lt ->
         Array.iter
           (fun f ->
-            if f.rate > 0. then
-              f.rate <- max 0. (min f.rate (data_plane.shape_rate ~flow_id:f.flow_id f.rate)))
+            if f.rate > 0. then begin
+              let shaped = max 0. (min f.rate (data_plane.shape_rate ~flow_id:f.flow_id f.rate)) in
+              if incremental then set_flow_rate f shaped else f.rate <- shaped
+            end)
           lt.lflows)
       !active;
     let pause = data_plane.control_latency () in
@@ -257,8 +381,9 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       (fun f ->
         (* everything this abandoned task pulled is waste *)
         wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
-        f.rate <- 0.;
-        f.remaining <- 0.)
+        set_flow_rate f 0.;
+        f.remaining <- 0.;
+        index_remove f)
       lt.lflows
   in
   (* A fault took this flow's endpoint: the partial fetch is useless
@@ -267,6 +392,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
     set_flow_rate f 0.;
     f.remaining <- 0.;
+    index_remove f;
     incr flows_killed
   in
   (* The task can no longer finish: record the failure (with the
@@ -338,7 +464,22 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
         Log.debug (fun m ->
             m "t=%.3f spawn %a sources=[%s]" !now Task.pp t
               (String.concat ";" (Array.to_list (Array.map string_of_int sources))));
-        active := { task = t; lflows; resolved = false; failed = false } :: !active
+        let seq = !next_seq in
+        incr next_seq;
+        let lt = { seq; task = t; lflows; resolved = false; failed = false } in
+        active := lt :: !active;
+        if incremental then begin
+          Array.iteri (fun slot f -> index_add lt slot f) lflows;
+          let cell =
+            match Hashtbl.find_opt tasks_by_dest t.Task.destination with
+            | Some cell -> cell
+            | None ->
+              let cell = ref [] in
+              Hashtbl.replace tasks_by_dest t.Task.destination cell;
+              cell
+          in
+          cell := lt :: !cell
+        end
       end
     end
   in
@@ -350,8 +491,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
      state (a crash-and-recover at one instant still loses the data). *)
   let handle_crashes newly_crashed =
     let crashed s = List.mem s newly_crashed in
-    List.iter
-      (fun lt ->
+    let crash_check lt =
         if not lt.resolved then begin
           if crashed lt.task.Task.destination then lose lt
           else begin
@@ -407,7 +547,8 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                           Topology.route_array topo ~src:source ~dst:lt.task.Task.destination;
                         remaining = lt.task.Task.volume;
                         rate = 0.
-                      })
+                      };
+                    index_add lt i lt.lflows.(i))
                   slots;
                 incr tasks_rehomed;
                 Log.debug (fun m ->
@@ -417,8 +558,36 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
               | _ -> lose lt
             end
           end
-        end)
-      !active
+        end
+    in
+    if not incremental then List.iter crash_check !active
+    else begin
+      (* Only tasks that lost their destination or a live source can be
+         affected. Both are read off indexes: destination from
+         [tasks_by_dest], sources from the buckets of the dead servers'
+         NIC entities (every flow's route crosses its source NIC; the
+         source = destination corner is covered by the destination
+         index). Candidates are processed in descending spawn order —
+         exactly the order the oracle's [!active] walk visits them, so
+         interleaved re-home views match. *)
+      let seen = Hashtbl.create 16 in
+      let candidates = ref [] in
+      let consider lt =
+        if (not lt.resolved) && not (Hashtbl.mem seen lt.seq) then begin
+          Hashtbl.replace seen lt.seq ();
+          candidates := lt :: !candidates
+        end
+      in
+      List.iter
+        (fun s ->
+          (match Hashtbl.find_opt tasks_by_dest s with
+           | Some cell -> List.iter consider !cell
+           | None -> ());
+          Hashtbl.iter (fun _ (_, _, lt, _) -> consider lt)
+            ent_flows.(Topology.server_entity topo s))
+        newly_crashed;
+      List.sort (fun a b -> compare b.seq a.seq) !candidates |> List.iter crash_check
+    end
   in
   (* ---- deadline watchdog (see Watchdog and DESIGN.md §11) ---- *)
   let wd_states : (int, Watchdog.tstate) Hashtbl.t = Hashtbl.create 16 in
@@ -442,7 +611,8 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       (fun f ->
         shed_volume := !shed_volume +. (lt.task.Task.volume -. f.remaining);
         set_flow_rate f 0.;
-        f.remaining <- 0.)
+        f.remaining <- 0.;
+        index_remove f)
       lt.lflows;
     lt.resolved <- true;
     incr tasks_shed_early
@@ -454,7 +624,8 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   let swap_kill lt f =
     wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
     set_flow_rate f 0.;
-    f.remaining <- 0.
+    f.remaining <- 0.;
+    index_remove f
   in
   (* One supervision pass: project every in-flight subtask's finish
      from its assigned rate; swap stragglers onto unused spare sources
@@ -465,9 +636,28 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   let supervise (cfg : Watchdog.config) =
     let changed = ref false in
     let transfer_start = max !now !frozen_until in
+    (* Cheap straggler existence test: [max_i projected(f_i)] equals
+       [transfer_start +. worst] with [worst = max_i remaining/rate]
+       (infinity for a stalled live flow) — float addition of a shared
+       addend is monotone, so comparing the max is exactly equivalent
+       to comparing each flow, without building the per-task list. *)
+    let worst_ratio lflows =
+      let worst = ref neg_infinity in
+      Array.iter
+        (fun f ->
+          if f.remaining > 0. then
+            worst := max !worst (if f.rate > 0. then f.remaining /. f.rate else infinity))
+        lflows;
+      !worst
+    in
     List.iter
       (fun lt ->
-        if (not lt.resolved) && not lt.failed then begin
+        if
+          (not lt.resolved) && (not lt.failed)
+          && ((not incremental)
+             || transfer_start +. worst_ratio lt.lflows
+                > lt.task.Task.deadline +. cfg.Watchdog.slack +. time_epsilon)
+        then begin
           let t = lt.task in
           let dl = t.Task.deadline in
           let projected f =
@@ -632,7 +822,8 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                           route = Topology.route_array topo ~src:source ~dst:t.Task.destination;
                           remaining = t.Task.volume;
                           rate = 0.
-                        })
+                        };
+                      index_add lt i lt.lflows.(i))
                     slots;
                   Watchdog.note_intervention cfg st ~now:!now ~replaced:n;
                   swaps_successful := !swaps_successful + n;
@@ -738,13 +929,37 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     advance_volumes dt;
     now := max !now t_next;
     Foreground.advance fg !now;
+    if incremental then begin
+      let g = Foreground.generation fg in
+      if g <> !fg_generation then begin
+        (* A redraw moves every entity's availability at once. *)
+        fg_generation := g;
+        for e = 0 to nent - 1 do
+          mark_dirty e
+        done
+      end
+    end;
     let processed = ref 0 in
     (* Completions first: a flow finishing exactly at the deadline counts. *)
     List.iter
       (fun lt ->
         if not lt.resolved then begin
           Array.iter
-            (fun f -> if f.remaining > 0. && f.remaining <= volume_epsilon then f.remaining <- 0.)
+            (fun f ->
+              if f.remaining > 0. && f.remaining <= volume_epsilon then begin
+                f.remaining <- 0.;
+                if incremental then begin
+                  set_flow_rate f 0.;
+                  index_remove f
+                end
+              end
+              else if incremental && f.remaining <= 0. && f.rate > 0. then begin
+                (* Drained to exactly zero during [advance_volumes]:
+                   retire it from the usage table and the buckets now
+                   (the oracle's full rebuild absorbs this instead). *)
+                set_flow_rate f 0.;
+                index_remove f
+              end)
             lt.lflows;
           if Array.for_all (fun f -> f.remaining <= 0.) lt.lflows then begin
             (* A task that already failed keeps its failure outcome even
@@ -780,6 +995,13 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
      | [] -> ()
      | changes ->
        incr processed;
+       if incremental then
+         List.iter
+           (function
+             | Fault.Crashed s | Fault.Recovered s ->
+               mark_dirty (Topology.server_entity topo s)
+             | Fault.Degraded e | Fault.Restored e -> mark_dirty e)
+           changes;
        let newly_crashed =
          List.filter_map (function Fault.Crashed s -> Some s | _ -> None) changes
        in

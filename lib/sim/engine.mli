@@ -71,6 +71,7 @@ val run :
   ?faults:S3_fault.Fault.t ->
   ?on_failure:(now:float -> server:int -> Metrics.Task.t list) ->
   ?watchdog:Watchdog.config ->
+  ?incremental:bool ->
   S3_net.Topology.t ->
   S3_core.Algorithm.t ->
   Metrics.Task.t list ->
@@ -80,6 +81,18 @@ val run :
     may be given in any order; destinations and sources must be valid
     servers of the topology. Raises {!Invalid_selection} if the
     algorithm returns an invalid source selection.
+
+    [incremental] (default [true]) drives the run off per-entity flow
+    indexes: scheduling events touch only the entities and tasks they
+    affect (dirty-set capacity clamping, indexed crash candidates, a
+    lazy per-entity congestion load handed to Phase I through
+    {!S3_core.Problem.view}[.load], and an O(1) per-task straggler
+    prefilter in the watchdog). [~incremental:false] runs the original
+    full-rescan code paths. Both modes produce bit-identical runs — the
+    equivalence suite pins {!Report.fingerprint} across them — so the
+    flag is purely a performance (and debugging) switch. The [load]
+    accessor in views handed to [on_event] reads live engine state:
+    consult it during the callback, not after.
 
     [faults] (default {!S3_fault.Fault.empty}) is played into the run
     as described above. [on_failure] is consulted once per server

@@ -18,9 +18,11 @@ type t = {
   config : config;
   fractions : float array;
   mutable next : float;  (* absolute time of next redraw *)
+  mutable generation : int;  (* bumped on every redraw *)
 }
 
 let redraw t =
+  t.generation <- t.generation + 1;
   for e = 0 to Array.length t.fractions - 1 do
     t.fractions.(e) <- (if t.config.max_frac <= 0. then 0. else Prng.float t.g t.config.max_frac)
   done
@@ -35,7 +37,8 @@ let create g topo config =
       topo;
       config;
       fractions = Array.make (Array.length (Topology.entities topo)) 0.;
-      next = (if static then infinity else config.change_interval)
+      next = (if static then infinity else config.change_interval);
+      generation = 0
     }
   in
   if config.max_frac > 0. then redraw t;
@@ -50,6 +53,8 @@ let available t e =
   raw *. (1. -. fraction t e)
 
 let next_change t = t.next
+
+let generation t = t.generation
 
 let advance t time =
   while t.next <= time do

@@ -33,6 +33,12 @@ val available : t -> int -> float
 val next_change : t -> float
 (** Absolute time of the next redraw; [infinity] when static. *)
 
+val generation : t -> int
+(** Monotone counter bumped on every redraw (including the initial
+    draw). Lets the engine detect "foreground changed since I last
+    looked" in O(1) — a redraw moves every entity, so observers should
+    treat a generation change as an everything-is-dirty signal. *)
+
 val advance : t -> float -> unit
 (** Move the process forward to an absolute time, performing every
     redraw on the way. Time never goes backwards. *)

@@ -21,7 +21,7 @@ let raw_available t e = (T.entity t e).T.capacity
 
 let view ?(now = 0.) ?(topo = topo) ?available flows =
   let available = Option.value ~default:(raw_available topo) available in
-  { Problem.now; topo; flows; available }
+  { Problem.now; topo; flows; available; load = None }
 
 (* Flows of a whole task: one per selected source, ids offset by task id. *)
 let flows_of ?(selected = None) (t : Task.t) =

@@ -20,6 +20,7 @@ let () =
       Test_algorithms.tests;
       Test_sim.tests;
       Test_fault.tests;
+      Test_incremental.tests;
       Test_integration.tests;
       Test_properties.tests;
       Test_report.tests;

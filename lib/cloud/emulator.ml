@@ -29,7 +29,8 @@ let data_plane c =
   let g = Prng.create c.seed in
   let control_latency () =
     if c.control_latency_max <= 0. then 0.
-    else if c.control_latency_max = c.control_latency_min then c.control_latency_min
+    else if Float.equal c.control_latency_max c.control_latency_min then
+      c.control_latency_min
     else Prng.uniform g c.control_latency_min c.control_latency_max
   in
   let shape_rate ~flow_id:_ rate =

@@ -91,6 +91,7 @@ let lpst ?(sources = Algorithm.Least_congested) ?backend ?(admission = Rtf_order
       Hashtbl.fold
         (fun id () acc -> if Hashtbl.mem active id then acc else id :: acc)
         admitted []
+      |> List.sort Int.compare
     in
     List.iter (Hashtbl.remove admitted) stale;
     let held, candidates =

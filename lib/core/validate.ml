@@ -57,12 +57,12 @@ let check ?(tol = 1e-6) ?(floor = fun _ -> 0.) (v : Problem.view) rates =
             Hashtbl.replace usage e (Option.value ~default:0. (Hashtbl.find_opt usage e) +. r))
           (Problem.route v f))
     v.Problem.flows;
-  Hashtbl.iter
-    (fun entity allocated ->
-      let available = v.Problem.available entity in
-      if allocated > available +. tol then
-        violations := Over_capacity { entity; allocated; available } :: !violations)
-    usage;
+  Hashtbl.fold (fun entity allocated acc -> (entity, allocated) :: acc) usage []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (entity, allocated) ->
+         let available = v.Problem.available entity in
+         if allocated > available +. tol then
+           violations := Over_capacity { entity; allocated; available } :: !violations);
   !violations
 
 let ok ?tol ?floor v rates = check ?tol ?floor v rates = []

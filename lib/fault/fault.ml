@@ -29,7 +29,10 @@ let plan events =
   let script = Array.of_list events in
   (* Stable: simultaneous events keep their script order. *)
   let keyed = Array.mapi (fun i ev -> (ev.time, i, ev)) script in
-  Array.sort (fun (ta, ia, _) (tb, ib, _) -> match compare ta tb with 0 -> compare ia ib | c -> c) keyed;
+  Array.sort
+    (fun (ta, ia, _) (tb, ib, _) ->
+      match Float.compare ta tb with 0 -> Int.compare ia ib | c -> c)
+    keyed;
   { script = Array.map (fun (_, _, ev) -> ev) keyed }
 
 let events t = Array.to_list t.script
@@ -229,7 +232,7 @@ let deliverable st e ~from ~until =
         List.filter_map
           (fun d -> if d.d_until > from && d.d_until < until then Some d.d_until else None)
           ds
-        |> List.sort_uniq compare
+        |> List.sort_uniq Float.compare
       in
       let rec go a cuts acc =
         let b = match cuts with [] -> until | c :: _ -> c in

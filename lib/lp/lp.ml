@@ -185,18 +185,37 @@ let shifted_rhs p cons =
       bound -. shift)
     cons
 
-let same_coeffs a b = a.coeffs = b.coeffs
+(* Typed equality for cache keys. [Float.equal] is a total equality
+   (NaN = NaN), so a pathological NaN coefficient yields a stable
+   cache hit instead of an unconditional miss; for the finite values
+   the solver produces it coincides with (=). *)
+let float_array_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if !ok && not (Float.equal x b.(i)) then ok := false) a;
+      !ok)
+
+let coeffs_equal a b =
+  List.equal (fun (ja, xa) (jb, xb) -> ja = jb && Float.equal xa xb) a b
+
+let keyed_rows_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i r -> if !ok && not (coeffs_equal r b.(i)) then ok := false) a;
+      !ok)
+
+let same_coeffs a b = coeffs_equal a.coeffs b.coeffs
 
 (* Cached-solution hit: the whole problem is unchanged. *)
 let snapshot_matches pv p cons =
   pv.p_nvars = p.nvars
-  && pv.p_obj = p.objective
-  && pv.p_lower = p.lower
+  && float_array_equal pv.p_obj p.objective
+  && float_array_equal pv.p_lower p.lower
   && Array.length pv.p_cons = Array.length cons
   && (let ok = ref true in
       Array.iteri
         (fun i c ->
-          if !ok && not (same_coeffs pv.p_cons.(i) c && pv.p_cons.(i).bound = c.bound)
+          if !ok && not (same_coeffs pv.p_cons.(i) c && Float.equal pv.p_cons.(i).bound c.bound)
           then ok := false)
         cons;
       !ok)
@@ -355,7 +374,7 @@ let exact_keyed st (id : identity) p cons =
           let pm = Array.length pk_rows in
           let ok = ref true in
           for i = 0 to pm - 1 do
-            if !ok && not (cons.(i).coeffs = pk_rows.(i)) then ok := false
+            if !ok && not (coeffs_equal cons.(i).coeffs pk_rows.(i)) then ok := false
           done;
           if not !ok then None
           else
@@ -378,10 +397,10 @@ let exact_keyed st (id : identity) p cons =
         | Some e
           when e.e_row_keys = pr.r_row_keys
                && e.e_var_keys = pr.r_var_keys
-               && e.e_rows = pr.r_keyed_rows
-               && e.e_bounds = pr.r_bounds
-               && e.e_obj = pr.r_sub_obj
-               && e.e_lower = pr.r_sub_lower
+               && keyed_rows_equal e.e_rows pr.r_keyed_rows
+               && float_array_equal e.e_bounds pr.r_bounds
+               && float_array_equal e.e_obj pr.r_sub_obj
+               && float_array_equal e.e_lower pr.r_sub_lower
                && e.e_warm = warm_local ->
           e.e_stamp <- st.solve_stamp;
           Some (Ok (e.e_values, e.e_basis))
@@ -426,7 +445,7 @@ let exact_keyed st (id : identity) p cons =
             | Some e
               when e.e_row_keys = pr.r_row_keys
                    && e.e_var_keys = pr.r_var_keys
-                   && e.e_rows = pr.r_keyed_rows ->
+                   && keyed_rows_equal e.e_rows pr.r_keyed_rows ->
               e.e_basis
             | _ -> None)
       | Some g -> (

@@ -104,7 +104,9 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   let known_ids = Hashtbl.create (Array.length pending * 2) in
   Array.iter (fun (t : Task.t) -> Hashtbl.replace known_ids t.Task.id ()) pending;
   let cmp_arrival (a : Task.t) (b : Task.t) =
-    match compare a.Task.arrival b.Task.arrival with 0 -> compare a.Task.id b.Task.id | c -> c
+    match Float.compare a.Task.arrival b.Task.arrival with
+    | 0 -> Int.compare a.Task.id b.Task.id
+    | c -> c
   in
   let inject ts =
     if ts <> [] then begin
@@ -225,7 +227,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       !active
   in
   let set_flow_rate f r =
-    if r <> f.rate then begin
+    if not (Float.equal r f.rate) then begin
       let d = r -. f.rate in
       f.rate <- r;
       Array.iter (fun e -> usage.(e) <- usage.(e) +. d) f.route;
@@ -240,10 +242,17 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     let scale = max 0. (a /. usage.(e)) in
     let victims =
       if incremental then
-        (* Same flows the oracle's [flows_of] would list; each is scaled
-           independently, so victim order cannot change the rates. *)
-        Hashtbl.fold (fun _ (_, _, lt, f) acc -> if lt.resolved then acc else f :: acc)
+        (* Same flows the oracle's [flows_of] would list, in the same
+           (task seq, slot) order — scaling is independent per flow, but
+           a stable victim order keeps logs and any future coupled
+           updates replayable. *)
+        Hashtbl.fold
+          (fun _ (seq, slot, lt, f) acc ->
+            if lt.resolved then acc else (seq, slot, f) :: acc)
           ent_flows.(e) []
+        |> List.sort (fun (sa, la, _) (sb, lb, _) ->
+               match Int.compare sa sb with 0 -> Int.compare la lb | c -> c)
+        |> List.map (fun (_, _, f) -> f)
       else flows_of.(e)
     in
     List.iter
@@ -297,8 +306,11 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   in
   let recompute () =
     let view = make_view () in
+    (* lint: allow nondet-source — planner CPU-time diagnostic only;
+       [plan_time] is excluded from result fingerprints (report.ml) *)
     let t0 = Sys.time () in
     let rates = alg.Algorithm.allocate view in
+    (* lint: allow nondet-source — same diagnostic as [t0] above *)
     plan_time := !plan_time +. (Sys.time () -. t0);
     incr plan_calls;
     let tbl = Hashtbl.create 64 in
@@ -782,7 +794,13 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                         let f = lt.lflows.(i) in
                         ((if route_degraded f then 0 else 1), -.projected f, i))
                       stragglers
-                    |> List.sort compare
+                    |> List.sort (fun (da, pa, ia) (db, pb, ib) ->
+                           match Int.compare da db with
+                           | 0 -> (
+                             match Float.compare pa pb with
+                             | 0 -> Int.compare ia ib
+                             | c -> c)
+                           | c -> c)
                     |> List.filteri (fun j _ -> j < n)
                     |> List.map (fun (_, _, i) -> i)
                   in
@@ -1041,7 +1059,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       in
       t.Task.deadline -. t.Task.arrival -. (Task.total_volume t /. dest_cap)
     in
-    List.stable_sort (fun a b -> compare (static_slack a) (static_slack b)) !batch
+    List.stable_sort (fun a b -> Float.compare (static_slack a) (static_slack b)) !batch
     |> List.iter spawn;
     active := List.filter (fun lt -> not lt.resolved) !active;
     if !processed = 0 && dt <= 0. then begin

@@ -75,6 +75,7 @@ let chunks_on t s =
       Array.iteri (fun c srv -> if srv = s then here := (f.id, c) :: !here) f.locations;
       !here)
     t.files_tbl []
+  |> List.sort compare
 
 let survivors t id =
   let f = file t id in
@@ -135,10 +136,12 @@ let evict_chunk t id ~chunk =
   f.locations.(chunk) <- -1
 
 let total_stored_volume t =
-  Hashtbl.fold
-    (fun _ f acc ->
+  (* Sum in file-id order ([files] sorts): float addition is not
+     associative, so hash-bucket order would leak into the total. *)
+  List.fold_left
+    (fun acc f ->
       let placed =
         Array.fold_left (fun n srv -> if srv >= 0 && t.up.(srv) then n + 1 else n) 0 f.locations
       in
       acc +. (float_of_int placed *. f.chunk_volume))
-    t.files_tbl 0.
+    0. (files t)

@@ -65,7 +65,7 @@ let crush_weighted weights topo ~object_id n =
     end
   in
   let ranked = Array.init nservers (fun s -> (score s, s)) in
-  Array.sort (fun (a, _) (b, _) -> compare b a) ranked;
+  Array.sort (fun (a, _) (b, _) -> Float.compare b a) ranked;
   let eligible = Array.to_list ranked |> List.filter (fun (sc, _) -> sc > neg_infinity) in
   if List.length eligible < n then invalid_arg "Placement: not enough eligible servers";
   Array.of_list (List.filteri (fun i _ -> i < n) (List.map snd eligible))

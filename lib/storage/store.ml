@@ -31,15 +31,17 @@ let checksum_ok t ~server ~file ~chunk =
     (Hashtbl.find_opt (table t server) (file, chunk))
 
 let scrub t =
-  let bad = ref [] in
-  Array.iteri
-    (fun server tbl ->
-      Hashtbl.iter
-        (fun (file, chunk) s ->
-          if Crc32.digest s.blob <> s.crc then bad := (server, file, chunk) :: !bad)
-        tbl)
-    t.shards;
-  List.sort compare !bad
+  (* Per-server fold, each re-sorted: server-major concatenation of
+     sorted (file, chunk) runs is the same total order the old global
+     sort produced. *)
+  Array.to_list t.shards
+  |> List.mapi (fun server tbl ->
+         Hashtbl.fold
+           (fun (file, chunk) s acc ->
+             if Crc32.digest s.blob <> s.crc then (server, file, chunk) :: acc else acc)
+           tbl []
+         |> List.sort compare)
+  |> List.concat
 
 let corrupt t ~server ~file ~chunk =
   match Hashtbl.find_opt (table t server) (file, chunk) with

@@ -24,7 +24,7 @@ let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = Array.length a in
   if n = 1 then a.(0)
   else begin
@@ -42,7 +42,7 @@ type cdf = float array (* sorted samples *)
 let cdf_of_samples xs =
   if xs = [] then invalid_arg "Stats.cdf_of_samples: empty";
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
 
 let cdf_eval c x =

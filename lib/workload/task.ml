@@ -49,11 +49,11 @@ let least_required_time ~full_capacity t =
   t.volume /. full_capacity
 
 let compare_arrival a b =
-  match compare a.arrival b.arrival with
-  | 0 -> compare a.id b.id
+  match Float.compare a.arrival b.arrival with
+  | 0 -> Int.compare a.id b.id
   | c -> c
 
 let compare_deadline a b =
-  match compare a.deadline b.deadline with
-  | 0 -> compare a.id b.id
+  match Float.compare a.deadline b.deadline with
+  | 0 -> Int.compare a.id b.id
   | c -> c

@@ -51,14 +51,14 @@ let synthetic g ~machines ~tasks =
       incr produced
     end
   done;
-  List.sort (fun a b -> compare a.time b.time) !out
+  List.sort (fun a b -> Float.compare a.time b.time) !out
 
 let to_tasks g topo records ~chunk_size_mb ~deadline_factor =
   if chunk_size_mb <= 0. then invalid_arg "Trace.to_tasks: chunk size";
   if deadline_factor <= 0. then invalid_arg "Trace.to_tasks: deadline factor";
   let nservers = Topology.servers topo in
   if nservers < 2 then invalid_arg "Trace.to_tasks: need at least two servers";
-  let records = List.sort (fun a b -> compare a.time b.time) records in
+  let records = List.sort (fun a b -> Float.compare a.time b.time) records in
   let t0 = match records with [] -> 0. | r :: _ -> r.time in
   let volume = Generator.mb_to_megabits chunk_size_mb in
   let cst =

@@ -1,0 +1,112 @@
+s3lint CLI contract: exit codes (0 clean / 1 findings / 2 usage), the
+machine-readable formats, and the baseline workflow. DESIGN.md §8, §13.
+
+A clean tree exits 0:
+
+  $ mkdir -p lib
+  $ cat > lib/clean.ml <<'EOF'
+  > let add x y = x + y
+  > EOF
+  $ cat > lib/clean.mli <<'EOF'
+  > val add : int -> int -> int
+  > EOF
+  $ s3lint lib
+  s3lint: 2 files clean
+
+A finding prints compiler-style and flips the exit code to 1:
+
+  $ cat > lib/dirty.ml <<'EOF'
+  > let near x = x = 1.0
+  > EOF
+  $ cat > lib/dirty.mli <<'EOF'
+  > val near : float -> bool
+  > EOF
+  $ s3lint lib
+  lib/dirty.ml:1:13: [float-eq] (=) on float operands is exact bit comparison; use an epsilon helper or justify why exactness is intended
+  s3lint: 1 new finding(s) in 4 files
+  [1]
+
+--format json is a versioned document (property-tested to round-trip
+through the tool's own parser):
+
+  $ s3lint --format json lib
+  {
+    "version": 1,
+    "files": 4,
+    "findings": [
+      {
+        "rule": "float-eq",
+        "file": "lib/dirty.ml",
+        "line": 1,
+        "col": 13,
+        "message": "(=) on float operands is exact bit comparison; use an epsilon helper or justify why exactness is intended",
+        "suppressible": true
+      }
+    ]
+  }
+  [1]
+
+--format sarif emits SARIF 2.1.0 for code-scanning upload:
+
+  $ s3lint --format sarif lib | head -3
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+
+The typed stage reads dune's .cmt artifacts; the same site the
+syntactic stage flags as float-eq is also a polymorphic comparison at
+a float type, and both stages report it:
+
+  $ ocamlc -c lib/dirty.mli && ocamlc -c -I lib -bin-annot lib/dirty.ml
+  $ s3lint --cmt lib lib
+  lib/dirty.ml:1:13: [float-eq] (=) on float operands is exact bit comparison; use an epsilon helper or justify why exactness is intended
+  lib/dirty.ml:1:15: [poly-compare] polymorphic = instantiated at a float-containing type compares raw IEEE bits; use Float.compare/Float.equal or a typed comparator on the float field
+  s3lint: 2 new finding(s) in 5 files
+  [1]
+
+The baseline workflow: --write-baseline records the current findings,
+and --baseline then fails only on findings that are new relative to it.
+
+  $ s3lint --write-baseline base.json lib
+  s3lint: wrote baseline with 1 finding(s) to base.json
+  $ s3lint --baseline base.json lib
+  s3lint: 4 files clean (1 baselined finding(s) suppressed)
+
+A new finding is still fatal — the baseline absorbs only what it saw:
+
+  $ cat > lib/fresh.ml <<'EOF'
+  > let close x = x = 2.5
+  > EOF
+  $ cat > lib/fresh.mli <<'EOF'
+  > val close : float -> bool
+  > EOF
+  $ s3lint --baseline base.json lib
+  lib/fresh.ml:1:14: [float-eq] (=) on float operands is exact bit comparison; use an epsilon helper or justify why exactness is intended
+  s3lint: 1 new finding(s) in 6 files (1 baselined)
+  [1]
+
+Usage errors exit 2:
+
+  $ s3lint --format yaml lib
+  s3lint: unknown format "yaml" (expected text|json|sarif)
+  [2]
+  $ s3lint no/such/dir
+  s3lint: no such file or directory: no/such/dir
+  [2]
+
+The rule registry is part of the contract:
+
+  $ s3lint --list-rules
+  float-eq         =/<>/==/!=/compare on float-evident operands; use an epsilon helper (LP bound and congestion math must not rely on exact float equality)
+  unsafe-indexing  Array/Bytes/String unsafe accessors; allowed only in the hot-path module allowlist and only with a justification annotation
+  catch-all-exn    'with _ ->' or a handler that binds the exception and returns (); swallows Out_of_memory, Stack_overflow and every programming error
+  no-print-in-lib  direct printf/print_*/prerr_* in lib/; route output through Sim.Report, Util.Table or a Logs source
+  partial-stdlib   List.hd/tl/nth, Option.get, Hashtbl.find outside tests; use the _opt variant or pattern-match, or justify the invariant
+  mli-required     every lib/**/*.ml must have a matching .mli so interfaces stay deliberate
+  hashtbl-order    [typed] Hashtbl.fold/iter whose body accumulates into an order-sensitive structure (list cons, float +./*., string ^, list @, Buffer.add) without piping the result through a sort; hash-bucket order is not a stable order
+  poly-compare     [typed] polymorphic compare/=/<>/Hashtbl.hash instantiated at a float-containing or abstract type; use Float.compare or a typed comparator (int instantiations pass)
+  domain-purity    [typed] closure passed to Sweep.map/map_list or Pool.run captures mutable state (ref, Hashtbl.t, Bytes.t, Buffer.t, Queue.t, Stack.t, Atomic.t, or a mutable record) from an enclosing scope; sweep jobs must be self-contained
+  nondet-source    [typed] Random.* global-state calls (seed an explicit Random.State.t or Util.Prng instead), and wall-clock reads (Sys.time, Unix.gettimeofday, Unix.time) in lib/ — timing belongs in bench/
+  suppression      a lint:allow annotation that is malformed or lacks a justification
+  parse-error      the file could not be read or parsed
+  cmt-error        [typed] a .cmt artifact could not be read or carries no implementation

@@ -191,6 +191,211 @@ let test_parse_error_reported () =
     Alcotest.(check bool) "non-suppressible" false f.Rules.suppressible
   | fs -> Alcotest.failf "expected one parse-error, got %d findings" (List.length fs)
 
+(* --- typed stage (cmt-based passes) ------------------------------- *)
+
+module Typed = S3lint.Typed_rules
+
+let typed_initialized = lazy (Typed.init ~dirs:[])
+
+(* Typed fixtures go through a real compile: write the source to a
+   temp dir, [ocamlc -c -bin-annot] it, lint the resulting cmt. This
+   is exactly the artifact shape dune produces, without depending on
+   internal typechecker entry points whose signatures move between
+   compiler versions. *)
+let lint_typed ?(kind = Rules.Lib) source =
+  Lazy.force typed_initialized;
+  let dir = Filename.temp_dir "s3lint_typed" "" in
+  let src = Filename.concat dir "fixture.ml" in
+  let oc = open_out src in
+  output_string oc source;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -c -bin-annot fixture.ml >/dev/null 2>&1"
+      (Filename.quote dir)
+  in
+  if Sys.command cmd <> 0 then Alcotest.failf "typed fixture failed to compile:\n%s" source;
+  let findings = Typed.lint_cmt ~kind ~source_root:dir (Filename.concat dir "fixture.cmt") in
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  findings
+
+let sweep_stub = "module Sweep = struct let map n f = Array.init n f end\n"
+
+let test_hashtbl_order_fires () =
+  check_rules "cons accumulation" [ "hashtbl-order" ]
+    (lint_typed "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []");
+  check_rules "float accumulation" [ "hashtbl-order" ]
+    (lint_typed
+       "let s (h : (int, float) Hashtbl.t) = Hashtbl.fold (fun _ v acc -> acc +. v) h 0.");
+  check_rules "iter into a ref" [ "hashtbl-order" ]
+    (lint_typed
+       "let t h =\n\
+        \  let sum = ref 0. in\n\
+        \  Hashtbl.iter (fun _ (v : float) -> sum := !sum +. v) h;\n\
+        \  !sum")
+
+let test_hashtbl_order_quiet () =
+  check_rules "re-sorted fold is sanctioned" []
+    (lint_typed
+       "let f (h : (int, int) Hashtbl.t) =\n\
+        \  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare");
+  check_rules "bool fold with incidental float arith" []
+    (lint_typed
+       "let any (h : (int, float) Hashtbl.t) =\n\
+        \  Hashtbl.fold (fun _ v acc -> acc || v > 0.5 +. 0.1) h false");
+  check_rules "per-key replace is not accumulation" []
+    (lint_typed
+       "let bump src dst =\n\
+        \  Hashtbl.iter (fun k (v : float) -> Hashtbl.replace dst k (v +. 1.)) src")
+
+let test_hashtbl_order_suppressed () =
+  check_rules "justified allow" []
+    (lint_typed
+       "let f h =\n\
+        \  (* lint: allow hashtbl-order — consumer treats the result as a set *)\n\
+        \  Hashtbl.fold (fun k _ acc -> k :: acc) h []");
+  check_rules "tests are exempt" []
+    (lint_typed ~kind:Rules.Test "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []")
+
+let test_poly_compare_fires () =
+  check_rules "compare at float" [ "poly-compare" ]
+    (lint_typed "let c (a : float) b = compare a b");
+  check_rules "equality at float-containing tuple" [ "poly-compare" ]
+    (lint_typed "let e (a : float * int) b = a = b");
+  check_rules "compare at abstract type" [ "poly-compare" ]
+    (lint_typed
+       "module M : sig\n\
+        \  type t\n\
+        \  val v : t\n\
+        end = struct\n\
+        \  type t = float\n\
+        \  let v = 1.\n\
+        end\n\
+        let q a = compare a M.v")
+
+let test_poly_compare_quiet () =
+  check_rules "int instantiation passes" []
+    (lint_typed "let c (a : int) b = compare a b");
+  check_rules "typed comparator passes" []
+    (lint_typed "let c (a : float) b = Float.compare a b");
+  check_rules "constant constructor is tag-only" []
+    (lint_typed "let n (xs : float list) = xs = []")
+
+let test_poly_compare_suppressed () =
+  check_rules "justified allow" []
+    (lint_typed
+       "let c (a : float) b =\n\
+        \  (* lint: allow poly-compare — total order incl. NaN is exactly what we want *)\n\
+        \  compare a b");
+  (* A justified float-eq allowance covers the typed view of the same
+     site — no double annotation. *)
+  check_rules "float-eq allowance carries over" []
+    (lint_typed
+       "let f (x : float) = x = 1.0 (* lint: allow float-eq — exact sentinel round-trip *)")
+
+let test_domain_purity_fires () =
+  check_rules "ref capture" [ "domain-purity" ]
+    (lint_typed
+       (sweep_stub
+       ^ "let total = ref 0\nlet run () = Sweep.map 4 (fun i -> total := !total + i; !total)"));
+  check_rules "hashtbl capture" [ "domain-purity" ]
+    (lint_typed
+       (sweep_stub
+       ^ "let memo : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+          let run () = Sweep.map 4 (fun i -> Hashtbl.replace memo i i; i)"))
+
+let test_domain_purity_quiet () =
+  check_rules "array result slots are the sanctioned merge" []
+    (lint_typed
+       (sweep_stub ^ "let out = Array.make 4 0\nlet run () = Sweep.map 4 (fun i -> out.(i) <- i)"));
+  check_rules "immutable capture" []
+    (lint_typed (sweep_stub ^ "let base = 10\nlet run () = Sweep.map 4 (fun i -> base + i)"));
+  check_rules "named function is not analysed" []
+    (lint_typed (sweep_stub ^ "let job i = i * 2\nlet run () = Sweep.map 4 job"))
+
+let test_domain_purity_suppressed () =
+  check_rules "justified allow" []
+    (lint_typed
+       (sweep_stub
+       ^ "let total = ref 0\n\
+          let run () =\n\
+          \  (* lint: allow domain-purity — single-domain pool in this configuration *)\n\
+          \  Sweep.map 4 (fun i -> total := !total + i; !total)"))
+
+let test_nondet_source_fires () =
+  check_rules "global Random" [ "nondet-source" ] (lint_typed "let f () = Random.int 10");
+  check_rules "wall clock in lib" [ "nondet-source" ] (lint_typed "let f () = Sys.time ()")
+
+let test_nondet_source_quiet () =
+  check_rules "seeded state passes" []
+    (lint_typed "let g st = Random.State.int st 10");
+  check_rules "bench may time and draw" []
+    (lint_typed ~kind:Rules.Bench "let f () = ignore (Sys.time ()); Random.int 10")
+
+let test_nondet_source_suppressed () =
+  check_rules "justified allow" []
+    (lint_typed
+       "let f () =\n\
+        \  (* lint: allow nondet-source — diagnostic timer, excluded from fingerprints *)\n\
+        \  Sys.time ()")
+
+let test_cmt_error_reported () =
+  Lazy.force typed_initialized;
+  match Typed.lint_cmt "/nonexistent/fixture.cmt" with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "cmt-error" f.Rules.rule;
+    Alcotest.(check bool) "non-suppressible" false f.Rules.suppressible
+  | fs -> Alcotest.failf "expected one cmt-error, got %d findings" (List.length fs)
+
+(* --- machine-readable output -------------------------------------- *)
+
+module Json = S3lint.Json
+module Output = S3lint.Output
+
+let finding_arb =
+  let open QCheck in
+  let byte_string = Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 20)) in
+  let gen =
+    Gen.map
+      (fun (rule, file, line, col, message, suppressible) ->
+        { Rules.rule; file; line; col; message; suppressible })
+      Gen.(tup6 byte_string byte_string (int_bound 100000) (int_bound 500) byte_string bool)
+  in
+  let print (f : Rules.finding) =
+    Printf.sprintf "{rule=%S; file=%S; line=%d; col=%d; message=%S; suppressible=%b}"
+      f.Rules.rule f.Rules.file f.Rules.line f.Rules.col f.Rules.message f.Rules.suppressible
+  in
+  make ~print gen
+
+let json_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"--format json round-trips through its own parser"
+    QCheck.(list_of_size Gen.(int_bound 8) finding_arb)
+    (fun findings ->
+      let doc = Output.to_json ~files:(List.length findings) findings in
+      match Json.of_string (Json.to_string doc) with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok j -> (
+        match Output.of_json j with
+        | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+        | Ok back -> back = findings))
+
+let test_baseline_diff () =
+  let f ?(line = 1) rule message =
+    { Rules.rule; file = "lib/x.ml"; line; col = 0; message; suppressible = true }
+  in
+  let baseline = [ f "poly-compare" "old"; f "hashtbl-order" "legacy" ] in
+  (* Same (rule, file, message) at a different line is absorbed; a new
+     message and a second occurrence of an absorbed one are fresh. *)
+  let current =
+    [ f ~line:40 "poly-compare" "old"; f "poly-compare" "new"; f ~line:9 "poly-compare" "old" ]
+  in
+  let fresh, matched = Output.diff_against_baseline ~baseline current in
+  Alcotest.(check int) "one absorbed" 1 matched;
+  Alcotest.(check (list string)) "fresh messages" [ "new"; "old" ]
+    (List.map (fun (x : Rules.finding) -> x.Rules.message) fresh)
+
 let tests =
   ( "lint",
     [ tc "float-eq fires" `Quick test_float_eq_fires;
@@ -213,5 +418,20 @@ let tests =
       tc "suppression unknown rule" `Quick test_suppression_unknown_rule;
       tc "suppression scope tight" `Quick test_suppression_scope_is_tight;
       tc "suppression in string inert" `Quick test_suppression_in_string_is_inert;
-      tc "parse error reported" `Quick test_parse_error_reported
+      tc "parse error reported" `Quick test_parse_error_reported;
+      tc "typed: hashtbl-order fires" `Quick test_hashtbl_order_fires;
+      tc "typed: hashtbl-order quiet" `Quick test_hashtbl_order_quiet;
+      tc "typed: hashtbl-order suppressed" `Quick test_hashtbl_order_suppressed;
+      tc "typed: poly-compare fires" `Quick test_poly_compare_fires;
+      tc "typed: poly-compare quiet" `Quick test_poly_compare_quiet;
+      tc "typed: poly-compare suppressed" `Quick test_poly_compare_suppressed;
+      tc "typed: domain-purity fires" `Quick test_domain_purity_fires;
+      tc "typed: domain-purity quiet" `Quick test_domain_purity_quiet;
+      tc "typed: domain-purity suppressed" `Quick test_domain_purity_suppressed;
+      tc "typed: nondet-source fires" `Quick test_nondet_source_fires;
+      tc "typed: nondet-source quiet" `Quick test_nondet_source_quiet;
+      tc "typed: nondet-source suppressed" `Quick test_nondet_source_suppressed;
+      tc "typed: cmt error reported" `Quick test_cmt_error_reported;
+      tc "output: baseline diff" `Quick test_baseline_diff;
+      QCheck_alcotest.to_alcotest json_roundtrip
     ] )

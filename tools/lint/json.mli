@@ -1,0 +1,34 @@
+(** Minimal JSON values for s3lint's machine-readable output
+    ([--format json|sarif]) and baseline files. The printer and parser
+    form a round-trip pair ([of_string (to_string v) = Ok v] for every
+    value whose floats are finite and whose strings are valid UTF-8);
+    test/test_lint.ml pins this with a QCheck property over findings
+    documents. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), stable field order, trailing
+    newline not included. Non-finite floats render as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Strict JSON parser (no comments, no trailing commas). [Error]
+    carries a message with the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k], if any. *)
+
+val to_list : t -> t list option
+
+val string_value : t -> string option
+
+val int_value : t -> int option
+
+val bool_value : t -> bool option

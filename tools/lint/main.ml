@@ -1,8 +1,26 @@
-(* s3lint driver: walk the given directories (default: lib bin bench
-   test), lint every .ml/.mli, enforce mli-required, print findings
-   compiler-style and exit non-zero if any remain. *)
+(* s3lint driver.
 
-let usage = "usage: s3lint [--list-rules] [dir-or-file ...]"
+   Syntactic stage: walk the given roots (default: lib bin bench test),
+   lint every .ml/.mli from the Parsetree, enforce mli-required.
+   Typed stage: for each --cmt PATH (a .cmt file or a directory dune
+   built artifacts into), run the determinism/domain-safety passes over
+   the Typedtree.
+
+   Findings are merged, optionally diffed against a committed baseline
+   (--baseline: only *new* findings fail), and rendered as text, JSON
+   or SARIF. Exit 0 clean, 1 findings, 2 usage/IO error. *)
+
+open S3lint
+
+let usage =
+  "usage: s3lint [options] [dir-or-file ...]\n\
+   \  --cmt PATH            also run typed passes over .cmt files in PATH\n\
+   \                        (repeatable; directories are walked)\n\
+   \  --format text|json|sarif   output format (default text)\n\
+   \  --baseline FILE       report only findings not in FILE\n\
+   \  --write-baseline FILE write all findings to FILE as JSON and exit 0\n\
+   \  --source-root DIR     resolve cmt-recorded source paths under DIR\n\
+   \  --list-rules          list rules and exit"
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -12,49 +30,98 @@ let rec walk path acc =
         else walk (Filename.concat path entry) acc)
       acc
       (let entries = Sys.readdir path in
-       Array.sort compare entries;
+       Array.sort String.compare entries;
        entries)
   else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
     path :: acc
   else acc
 
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--help" args || List.mem "-help" args then begin
-    print_endline usage;
-    print_endline "rules:";
-    List.iter (fun (n, d) -> Printf.printf "  %-16s %s\n" n d) S3lint.Rules.rules;
-    exit 0
-  end;
-  if List.mem "--list-rules" args then begin
-    List.iter (fun (n, d) -> Printf.printf "%-16s %s\n" n d) S3lint.Rules.rules;
-    exit 0
-  end;
-  let roots = match args with [] -> [ "lib"; "bin"; "bench"; "test" ] | l -> l in
+  let roots = ref [] in
+  let cmt_roots = ref [] in
+  let format = ref Output.Text in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let source_root = ref "." in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-help") :: _ ->
+      print_endline usage;
+      exit 0
+    | "--list-rules" :: _ ->
+      List.iter (fun (n, d) -> Printf.printf "%-16s %s\n" n d) Rules.rules;
+      exit 0
+    | "--cmt" :: path :: rest ->
+      cmt_roots := path :: !cmt_roots;
+      parse rest
+    | "--format" :: fmt :: rest -> (
+      match Output.format_of_string fmt with
+      | Some f ->
+        format := f;
+        parse rest
+      | None -> die "s3lint: unknown format %S (expected text|json|sarif)" fmt)
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
+      parse rest
+    | "--write-baseline" :: path :: rest ->
+      write_baseline := Some path;
+      parse rest
+    | "--source-root" :: dir :: rest ->
+      source_root := dir;
+      parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' && arg.[1] = '-' ->
+      die "s3lint: unknown or incomplete option %s\n%s" arg usage
+    | arg :: rest ->
+      roots := arg :: !roots;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots =
+    match List.rev !roots with [] -> [ "lib"; "bin"; "bench"; "test" ] | l -> l
+  in
   List.iter
-    (fun r ->
-      if not (Sys.file_exists r) then begin
-        Printf.eprintf "s3lint: no such file or directory: %s\n" r;
-        exit 2
-      end)
+    (fun r -> if not (Sys.file_exists r) then die "s3lint: no such file or directory: %s" r)
     roots;
+  List.iter
+    (fun r -> if not (Sys.file_exists r) then die "s3lint: no such cmt path: %s" r)
+    !cmt_roots;
   let files = List.rev (List.fold_left (fun acc r -> walk r acc) [] roots) in
-  let findings =
-    List.concat_map S3lint.Rules.lint_file files
-    @ S3lint.Rules.missing_mlis ~exists:Sys.file_exists files
+  let syntactic =
+    List.concat_map Rules.lint_file files
+    @ Rules.missing_mlis ~exists:Sys.file_exists files
   in
-  let findings =
-    List.sort
-      (fun (a : S3lint.Rules.finding) (b : S3lint.Rules.finding) ->
-        compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule))
-      findings
+  let cmts =
+    List.concat_map Typed_rules.cmt_files_under (List.rev !cmt_roots)
+    |> List.sort_uniq String.compare
   in
-  List.iter (fun f -> Format.printf "%a@." S3lint.Rules.pp_finding f) findings;
-  let nfiles = List.length files in
-  match findings with
-  | [] ->
-    Printf.printf "s3lint: %d files clean\n" nfiles;
-    exit 0
-  | fs ->
-    Printf.printf "s3lint: %d finding(s) in %d files\n" (List.length fs) nfiles;
-    exit 1
+  let typed =
+    match cmts with
+    | [] -> []
+    | _ ->
+      Typed_rules.init ~dirs:(List.sort_uniq String.compare (List.map Filename.dirname cmts));
+      List.concat_map (Typed_rules.lint_cmt ~source_root:!source_root) cmts
+  in
+  let findings = Rules.sort_findings (syntactic @ typed) in
+  let nfiles = List.length files + List.length cmts in
+  (match !write_baseline with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Json.to_string (Output.to_json ~files:nfiles findings));
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "s3lint: wrote baseline with %d finding(s) to %s\n"
+      (List.length findings) path;
+    exit 0);
+  let fresh, baselined =
+    match !baseline with
+    | None -> (findings, 0)
+    | Some path -> (
+      match Output.load_baseline path with
+      | Error e -> die "s3lint: cannot read baseline: %s" e
+      | Ok base -> Output.diff_against_baseline ~baseline:base findings)
+  in
+  Output.render ~format:!format ~files:nfiles ~baselined fresh;
+  exit (if fresh = [] then 0 else 1)

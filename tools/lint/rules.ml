@@ -30,8 +30,25 @@ let rules =
     ( "mli-required",
       "every lib/**/*.ml must have a matching .mli so interfaces stay \
        deliberate" );
+    ( "hashtbl-order",
+      "[typed] Hashtbl.fold/iter whose body accumulates into an order-sensitive \
+       structure (list cons, float +./*., string ^, list @, Buffer.add) without \
+       piping the result through a sort; hash-bucket order is not a stable order" );
+    ( "poly-compare",
+      "[typed] polymorphic compare/=/<>/Hashtbl.hash instantiated at a \
+       float-containing or abstract type; use Float.compare or a typed comparator \
+       (int instantiations pass)" );
+    ( "domain-purity",
+      "[typed] closure passed to Sweep.map/map_list or Pool.run captures mutable \
+       state (ref, Hashtbl.t, Bytes.t, Buffer.t, Queue.t, Stack.t, Atomic.t, or a \
+       mutable record) from an enclosing scope; sweep jobs must be self-contained" );
+    ( "nondet-source",
+      "[typed] Random.* global-state calls (seed an explicit Random.State.t or \
+       Util.Prng instead), and wall-clock reads (Sys.time, Unix.gettimeofday, \
+       Unix.time) in lib/ — timing belongs in bench/" );
     ("suppression", "a lint:allow annotation that is malformed or lacks a justification");
-    ("parse-error", "the file could not be read or parsed")
+    ("parse-error", "the file could not be read or parsed");
+    ("cmt-error", "[typed] a .cmt artifact could not be read or carries no implementation")
   ]
 
 let rule_names = List.map fst rules
@@ -438,7 +455,7 @@ let collect ~kind ~file structure =
 (* Putting it together                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let apply_suppressions ~file findings suppressions =
+let suppression_hygiene ~file suppressions =
   let bad_suppressions =
     List.filter_map
       (fun s ->
@@ -477,6 +494,9 @@ let apply_suppressions ~file findings suppressions =
         else None)
       suppressions
   in
+  bad_suppressions @ unknown
+
+let filter_suppressed findings suppressions =
   let suppressed f =
     f.suppressible
     && List.exists
@@ -484,7 +504,10 @@ let apply_suppressions ~file findings suppressions =
            s.s_justified && s.s_rule = f.rule && f.line >= s.s_first && f.line <= s.s_last)
          suppressions
   in
-  List.filter (fun f -> not (suppressed f)) findings @ bad_suppressions @ unknown
+  List.filter (fun f -> not (suppressed f)) findings
+
+let apply_suppressions ~file findings suppressions =
+  filter_suppressed findings suppressions @ suppression_hygiene ~file suppressions
 
 let sort_findings fs =
   List.sort
@@ -514,6 +537,22 @@ let lint_source ~kind ~file source =
       | _ -> Printexc.to_string exn
     in
     parse_error ~file (String.map (fun c -> if c = '\n' then ' ' else c) message)
+
+(* The typed stage reports findings positioned in the original source,
+   so it shares this file's suppression machinery: parse the source for
+   attribute allowances (findings from [collect] are discarded) and add
+   the comment allowances. A source that no longer parses still honours
+   comment allowances — the comment scanner is parse-free. *)
+let suppressions_of_source ~file source =
+  match
+    let lexbuf = Lexing.from_string source in
+    Location.init lexbuf file;
+    Parse.implementation lexbuf
+  with
+  | structure ->
+    let _, attr_sups = collect ~kind:Other ~file structure in
+    comment_suppressions source @ attr_sups
+  | exception _ -> comment_suppressions source
 
 let lint_file ?kind file =
   let kind = match kind with Some k -> k | None -> kind_of_path file in

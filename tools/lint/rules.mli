@@ -67,6 +67,24 @@ val lint_file : ?kind:kind -> string -> finding list
     [kind_of_path path]. Unreadable or unparseable files yield a
     single non-suppressible [parse-error] finding. *)
 
+type suppression
+(** A parsed [lint: allow] annotation (comment or attribute form) with
+    its rule, line range, and whether the justification has substance. *)
+
+val suppressions_of_source : file:string -> string -> suppression list
+(** All allowances in [source]: comment-form (lexically aware — string
+    literals do not suppress) plus attribute-form when the file parses.
+    Used by the typed stage, whose findings point back into the same
+    source positions. *)
+
+val filter_suppressed : finding list -> suppression list -> finding list
+(** Drop suppressible findings covered by a justified allowance naming
+    their rule. Emits no hygiene findings — the syntactic stage already
+    reports malformed or unknown-rule allowances once per file. *)
+
+val sort_findings : finding list -> finding list
+(** Stable order: file, then line, then column. *)
+
 val missing_mlis : exists:(string -> bool) -> string list -> finding list
 (** [missing_mlis ~exists paths] applies the [mli-required] rule: every
     [Lib]-classified [.ml] in [paths] must have a sibling [.mli]

@@ -1,0 +1,54 @@
+(** s3lint typed stage — determinism and domain-safety passes over the
+    Typedtree, read from the [.cmt] artifacts of the dune build.
+
+    Where the syntactic stage ({!Rules}) works from float *evidence*,
+    these passes see inferred types, so [Array.sort compare a] on a
+    [float array] is flagged while the same call at [int array] passes.
+    Four passes (rule names registered in {!Rules.rules}):
+
+    - [hashtbl-order]: [Hashtbl.fold]/[iter] whose body accumulates
+      into an order-sensitive structure (list cons onto an accumulator,
+      float [+.]/[*.], string [^], list [@], [Buffer.add_*]) without
+      the result flowing straight into a sort ([List.sort (...)],
+      [|> List.sort], [List.sort @@]). Hash-bucket order is not a
+      stable public order; every such accumulation must be re-sorted by
+      a total key or carry a justified allowance.
+    - [poly-compare]: polymorphic [compare]/[=]/[<>]/[Hashtbl.hash]
+      instantiated at a float-containing or abstract type. Comparisons
+      against constant constructors ([xs = \[\]], [o <> None]) are
+      tag-only and exempt. A justified [float-eq] allowance also covers
+      the typed view of the same site.
+    - [domain-purity]: inline closures passed to [Sweep.map]/
+      [Sweep.map_list]/[Pool.run] that capture mutable state (ref,
+      [Hashtbl.t], [Bytes.t], [Buffer.t], [Queue.t], [Stack.t],
+      [Atomic.t], or a record with mutable fields) from an enclosing
+      scope — the static counterpart of the "self-contained jobs" rule
+      (DESIGN.md §9). Arrays are exempt: per-index result slots are the
+      sanctioned merge pattern. Named functions passed by identifier
+      are not analysed.
+    - [nondet-source]: [Random.*] global-generator calls outside
+      [test/]/[bench/], and wall-clock reads ([Sys.time],
+      [Unix.gettimeofday], [Unix.time]) inside [lib/].
+
+    Suppressions use the same [lint: allow <rule> — <why>] grammar as
+    the syntactic stage and are resolved against the original source
+    file recorded in the cmt. *)
+
+val init : dirs:string list -> unit
+(** Prepare the load path for environment reconstruction: [dirs] are
+    the directories holding the cmt/cmi artifacts (dune's [.objs/byte]
+    dirs). Must be called once before {!lint_cmt}; without the cmi
+    files, nominal-type lookups degrade to structural checks (no
+    findings are invented, some may be missed). *)
+
+val lint_cmt : ?kind:Rules.kind -> ?source_root:string -> string -> Rules.finding list
+(** Analyse one [.cmt] file. [kind] defaults to
+    [Rules.kind_of_path] of the recorded source path; [source_root]
+    (default ["."]) locates the source file for suppression handling.
+    Interfaces and partial implementations yield no findings; an
+    unreadable cmt yields one non-suppressible [cmt-error]. *)
+
+val cmt_files_under : string -> string list
+(** All [.cmt] files under a directory (or the path itself if it is
+    one), entering hidden directories — dune keeps artifacts under
+    [.libname.objs/]. *)

@@ -14,6 +14,10 @@
                                            tasks, per-event plan time +
                                            incremental-vs-from-scratch
                                            speedup in BENCH_6.json
+     dune exec bench/main.exe -- codec     codec mode: RS
+                                           encode/decode/reconstruct
+                                           MB/s per kernel and chunk
+                                           size in BENCH_8.json
 
    See bench/experiments.ml for the per-figure regenerators and
    EXPERIMENTS.md for paper-vs-measured. *)
@@ -323,6 +327,127 @@ let run_scale () =
   close_out oc;
   Printf.printf "\nwrote %s\n" scale_json_file
 
+(* Codec mode: encode/decode/reconstruct throughput of the striped RS
+   data path at storage-realistic chunk sizes, for both kernels, plus a
+   parallel-vs-sequential striped encode pair. MB/s figures land in
+   BENCH_8.json for the CI regression gate. *)
+let codec_json_file = "BENCH_8.json"
+
+module Rs = S3_storage.Reed_solomon
+
+(* Calibrate repetitions to a ~25 ms batch, then take the best of three
+   batches: robust to scheduler noise without pinning anything. *)
+let time_mbps ~bytes f =
+  let rec calib reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 0.025 || reps >= 1 lsl 20 then (reps, dt) else calib (reps * 2)
+  in
+  let reps, first = calib 1 in
+  let best = ref first in
+  for _ = 2 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  float_of_int (bytes * reps) /. (!best *. 1e6)
+
+let codec_codes = [ (9, 6); (6, 4); (12, 8) ]
+let codec_chunks = [ 64 * 1024; 1024 * 1024; 8 * 1024 * 1024 ]
+
+(* The 1MB column carries the table-kernel reference for the
+   speedup/regression gate; running the byte-wise oracle at 8MB would
+   only slow CI down without adding information. *)
+let codec_kernels_for chunk =
+  if chunk = 1024 * 1024 then [ Rs.Schedule; Rs.Table ] else [ Rs.Schedule ]
+
+let run_codec () =
+  print_endline "\n=== codec throughput (striped RS data path) ===";
+  let rows = ref [] in
+  List.iter
+    (fun (n, k) ->
+      let c = Rs.make ~n ~k in
+      List.iter
+        (fun chunk ->
+          let g = S3_util.Prng.create (n + (64 * k) + chunk) in
+          let data = Bytes.init chunk (fun _ -> Char.chr (S3_util.Prng.int g 256)) in
+          let shards = Rs.encode c data in
+          let indexed = Array.to_list (Array.mapi (fun i s -> (i, s)) shards) in
+          (* Parity-heavy survivor set: the decode worst case (a full
+             inverse application, no identity rows). *)
+          let survivors = List.filteri (fun i _ -> i >= n - k) indexed in
+          let with_loss = List.filter (fun (i, _) -> i <> 0) indexed in
+          let decode_subset = List.filteri (fun i _ -> i < k) with_loss in
+          List.iter
+            (fun kernel ->
+              let cell op f =
+                let mbps = time_mbps ~bytes:chunk f in
+                Printf.printf "%s (%d,%d) %dKB %s: %.1f MB/s\n%!" op n k (chunk / 1024)
+                  (Rs.kernel_name kernel) mbps;
+                rows := (op, n, k, chunk, Rs.kernel_name kernel, mbps) :: !rows
+              in
+              cell "encode" (fun () -> ignore (Rs.encode ~kernel c data));
+              cell "decode" (fun () -> ignore (Rs.decode ~kernel c survivors));
+              cell "reconstruct" (fun () ->
+                  ignore (Rs.reconstruct ~kernel c ~index:0 decode_subset)))
+            (codec_kernels_for chunk))
+        codec_chunks)
+    codec_codes;
+  (* Deterministic multi-domain striping: same bytes, more domains. *)
+  print_endline "\n=== striped encode: parallel vs sequential ===";
+  let n, k = (9, 6) in
+  let c = Rs.make ~n ~k in
+  let chunk = 8 * 1024 * 1024 in
+  let g = S3_util.Prng.create 42 in
+  let data = Bytes.init chunk (fun _ -> Char.chr (S3_util.Prng.int g 256)) in
+  let domains = S3_par.Sweep.domain_count () in
+  let seq = Rs.encode_stripes ~domains:1 c data in
+  let par = Rs.encode_stripes ~domains c data in
+  let identical =
+    Array.length seq = Array.length par
+    && Array.for_all2 Bytes.equal seq par
+  in
+  let seq_mbps = time_mbps ~bytes:chunk (fun () -> ignore (Rs.encode_stripes ~domains:1 c data)) in
+  let par_mbps = time_mbps ~bytes:chunk (fun () -> ignore (Rs.encode_stripes ~domains c data)) in
+  Printf.printf
+    "striped encode (9,6) 8MB: sequential %.1f MB/s, parallel %.1f MB/s on %d domains, \
+     identical=%b\n%!"
+    seq_mbps par_mbps domains identical;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"meta\": { \"git_rev\": \"%s\", \"ocaml\": \"%s\", \"packet_bytes\": %d },\n"
+       (json_escape (git_rev ()))
+       (json_escape Sys.ocaml_version)
+       Rs.default_packet_bytes);
+  Buffer.add_string b "  \"codec\": [\n";
+  let rows = List.rev !rows in
+  List.iteri
+    (fun i (op, n, k, chunk, kernel, mbps) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"op\": \"%s\", \"n\": %d, \"k\": %d, \"chunk_bytes\": %d, \
+            \"kernel\": \"%s\", \"mbps\": %.2f }%s\n"
+           op n k chunk kernel mbps
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  ],\n  \"striped\": { \"n\": %d, \"k\": %d, \"chunk_bytes\": %d, \"domains\": %d, \
+        \"sequential_mbps\": %.2f, \"parallel_mbps\": %.2f, \"identical\": %b }\n}\n"
+       n k chunk domains seq_mbps par_mbps identical);
+  let oc = open_out codec_json_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" codec_json_file
+
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   match args with
@@ -336,5 +461,6 @@ let () =
         | "micro" -> ignore (run_bechamel ())
         | "bench" -> run_bench ()
         | "scale" -> run_scale ()
+        | "codec" -> run_codec ()
         | id -> Experiments.run_experiment id)
       ids

@@ -51,6 +51,30 @@ let map ?domains ?pool n f =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
+let map_ranges ?domains ?pool n f =
+  if n < 0 then invalid_arg "Sweep.map_ranges: negative count";
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      match pool with
+      | Some p -> Pool.size p
+      | None -> ( match domains with Some d -> max 1 d | None -> domain_count ())
+    in
+    (* Balanced contiguous partition of [0, n): the first [n mod jobs]
+       ranges carry one extra index. Depends only on (n, jobs), so a
+       caller pinning [domains] gets the same partition every run. *)
+    let jobs = min jobs n in
+    let base = n / jobs and extra = n mod jobs in
+    let bounds =
+      Array.init jobs (fun i ->
+          let lo = (i * base) + min i extra in
+          (lo, lo + base + if i < extra then 1 else 0))
+    in
+    map ?domains ?pool jobs (fun i ->
+        let lo, hi = bounds.(i) in
+        f ~lo ~hi)
+  end
+
 let map_list ?domains ?pool f xs =
   let input = Array.of_list xs in
   Array.to_list (map ?domains ?pool (Array.length input) (fun i -> f input.(i)))

@@ -26,5 +26,15 @@ val map : ?domains:int -> ?pool:Pool.t -> int -> (int -> 'a) -> 'a array
     run executes inline without spawning anything. The first job
     exception cancels the remaining jobs and is re-raised. *)
 
+val map_ranges :
+  ?domains:int -> ?pool:Pool.t -> int -> (lo:int -> hi:int -> 'a) -> 'a array
+(** [map_ranges n f] splits [0, n) into one balanced contiguous range
+    per worker (at most [min domains n] ranges; the first [n mod jobs]
+    ranges get one extra index) and computes [f ~lo ~hi] for each,
+    returning results in range order. The partition depends only on
+    [n] and the worker count, so a caller that pins [domains] gets a
+    deterministic decomposition — the shape the striped codec uses for
+    index-ordered merges. The jobs contract of {!map} applies. *)
+
 val map_list : ?domains:int -> ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map}, preserving input order. *)

@@ -41,11 +41,15 @@ let write_file t g ?policy ~n ~k data =
   Hashtbl.replace t.files id info;
   info
 
-(* Live (chunk, server, shard bytes) triples of a file. *)
+(* Live (chunk, server, shard bytes) triples of a file. The blobs are
+   borrowed from the store — read-only codec/verification sources, so
+   the defensive copy would be pure overhead. *)
 let live_shards t id =
   List.filter_map
     (fun (chunk, server) ->
-      Option.map (fun blob -> (chunk, server, blob)) (Store.get t.store ~server ~file:id ~chunk))
+      Option.map
+        (fun blob -> (chunk, server, blob))
+        (Store.borrow t.store ~server ~file:id ~chunk))
     (Cluster.survivors t.cluster id)
 
 let read_file t id =
@@ -61,7 +65,7 @@ let fail_server t server =
   ignore (Store.wipe_server t.store server);
   Cluster.fail_server t.cluster server
 
-let repair t ~file ~chunk ~sources ~destination =
+let repair ?progress t ~file ~chunk ~sources ~destination =
   let info = file_info t file in
   let meta = Cluster.file t.cluster file in
   if chunk < 0 || chunk >= meta.Cluster.n then invalid_arg "Pipeline.repair: chunk index";
@@ -74,7 +78,9 @@ let repair t ~file ~chunk ~sources ~destination =
     match List.find_opt (fun (_, server) -> server = source) survivors with
     | None -> invalid_arg "Pipeline.repair: source holds no live chunk of this file"
     | Some (c, server) -> (
-      match Store.get t.store ~server ~file ~chunk:c with
+      (* Borrowed read-only: the codec only reads its sources, and the
+         rebuilt shard is a fresh buffer. *)
+      match Store.borrow t.store ~server ~file ~chunk:c with
       | None -> invalid_arg "Pipeline.repair: metadata/data mismatch at source"
       | Some blob -> (c, blob))
   in
@@ -82,7 +88,17 @@ let repair t ~file ~chunk ~sources ~destination =
   if List.length shards < k then
     invalid_arg "Pipeline.repair: fewer than k sources";
   let subset = List.filteri (fun i _ -> i < k) shards in
-  let rebuilt = Reed_solomon.reconstruct info.code ~index:chunk subset in
+  let len =
+    match subset with
+    | (_, blob) :: _ -> Bytes.length blob
+    | [] -> invalid_arg "Pipeline.repair: fewer than k sources"
+  in
+  let sb = Reed_solomon.stripe_bytes info.code in
+  let on_stripe = Option.map (fun f s -> f (min ((s + 1) * sb) len) len) progress in
+  let rebuilt = Reed_solomon.reconstruct_stripes ?on_stripe info.code ~index:chunk subset in
+  (* The byte-wise tail past the last full stripe completes with the
+     reconstruction itself; report it as the final progress step. *)
+  (match progress with Some f when len mod sb <> 0 || len = 0 -> f len len | _ -> ());
   (* Metadata first (it validates destination), then bytes. *)
   Cluster.place_chunk t.cluster file ~chunk ~server:destination;
   Store.put t.store ~server:destination ~file ~chunk rebuilt
@@ -111,6 +127,6 @@ let verify_file t id =
     let expect = Reed_solomon.encode info.code data in
     Cluster.survivors t.cluster id
     |> List.for_all (fun (chunk, server) ->
-           match Store.get t.store ~server ~file:id ~chunk with
+           match Store.borrow t.store ~server ~file:id ~chunk with
            | None -> false
            | Some blob -> Bytes.equal blob expect.(chunk))

@@ -46,13 +46,20 @@ val fail_server : t -> int -> (Cluster.file_id * int) list
     metadata. Returns the lost (file, chunk) pairs. *)
 
 val repair :
+  ?progress:(int -> int -> unit) ->
   t -> file:Cluster.file_id -> chunk:int -> sources:int list -> destination:int -> unit
 (** Rebuild one lost chunk at [destination] by reading the shards the
     [sources] servers hold (they must hold >= k live shards of the
     file between them; extra sources are ignored). Verifies nothing is
     overwritten: raises [Invalid_argument] if the chunk is not
     currently lost, a source holds no shard of the file, or the
-    destination already holds one. *)
+    destination already holds one.
+
+    [progress ready total] is called in ascending order of [ready] as
+    reconstruction streams through the codec's stripes ([total] is the
+    shard length in bytes; the final call reports [total total] once
+    the byte-wise tail is done) — the hook that lets a driver overlap
+    repair work with simulated transfers. *)
 
 val scrub : t -> (Cluster.file_id * int) list
 (** Integrity pass over every placed shard: any whose bytes fail their

@@ -1,0 +1,55 @@
+(** Straight-line XOR programs compiled from a {!Bitmatrix} — the
+    jerasure "smart schedule" idea.
+
+    A schedule turns one stripe application (8 packets per shard, see
+    {!Bitmatrix.apply_packets}) into a flat op list: copy a packet,
+    XOR a packet in, or zero a packet. Ops may read packets of
+    previously computed *output* rows, which is how the smart compiler
+    dedupes common subexpressions: an output bit-row whose matrix row
+    is close (in Hamming distance) to an earlier one is derived from
+    it with one copy plus the difference, instead of from scratch.
+
+    {!apply} executes the program with 64-bit word XORs
+    ([Bytes.blit] for copies), which is what makes the packet data
+    path run at memory bandwidth instead of byte-lookup speed. The
+    compiled program is immutable and safe to share across domains. *)
+
+type t
+
+val compile : ?smart:bool -> Bitmatrix.t -> t
+(** [compile bm] compiles the lifted matrix into an XOR program whose
+    {!apply} is bit-identical to [Bitmatrix.apply_packets bm]. With
+    [smart] (the default) each output row may be derived from the
+    cheapest previously computed output row; [~smart:false] compiles
+    every row from scratch (the dumb schedule, kept for tests and op
+    accounting). Requires bit dimensions that are multiples of 8. *)
+
+val inputs : t -> int
+(** Input shard count (lifted columns / 8). *)
+
+val outputs : t -> int
+(** Output shard count (lifted rows / 8). *)
+
+val op_count : t -> int
+(** Number of packet ops — the per-stripe work; smart compilation
+    never exceeds the dumb count. *)
+
+val xor_count : t -> int
+(** XOR ops only (copies and zeroes excluded) — the figure of merit
+    jerasure minimizes. *)
+
+val apply :
+  t ->
+  srcs:Bytes.t array ->
+  soffs:int array ->
+  dsts:Bytes.t array ->
+  doffs:int array ->
+  packet:int ->
+  unit
+(** Run the program on one stripe: shard [j]'s packet [c] is the
+    [packet] bytes at [soffs.(j) + c*packet] ([doffs.(i)] likewise for
+    outputs). Every output packet is written before it is read, so
+    destination buffers need not be zeroed. [packet] must be a
+    positive multiple of 8; all regions are bounds-checked once here,
+    and the hot loop then runs on unchecked 64-bit accessors. Raises
+    [Invalid_argument] on shape, alignment or bounds violations. *)

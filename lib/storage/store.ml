@@ -25,6 +25,9 @@ let put t ~server ~file ~chunk blob =
 let get t ~server ~file ~chunk =
   Option.map (fun s -> Bytes.copy s.blob) (Hashtbl.find_opt (table t server) (file, chunk))
 
+let borrow t ~server ~file ~chunk =
+  Option.map (fun s -> s.blob) (Hashtbl.find_opt (table t server) (file, chunk))
+
 let checksum_ok t ~server ~file ~chunk =
   Option.map
     (fun s -> Crc32.digest s.blob = s.crc)

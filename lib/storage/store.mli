@@ -19,6 +19,13 @@ val put : t -> server:int -> file:int -> chunk:int -> bytes -> unit
 val get : t -> server:int -> file:int -> chunk:int -> bytes option
 (** Read (a copy of) a shard; [None] when absent. *)
 
+val borrow : t -> server:int -> file:int -> chunk:int -> bytes option
+(** Read the stored shard {e without} copying: the returned buffer is
+    the store's own, so the caller must treat it as read-only (mutating
+    it would silently corrupt the stored shard past its checksum). For
+    internal read-only paths — codec sources, verification — where
+    {!get}'s defensive copy is pure memory traffic. *)
+
 val delete : t -> server:int -> file:int -> chunk:int -> unit
 (** Remove a shard if present. *)
 

@@ -98,14 +98,14 @@ The rule registry is part of the contract:
 
   $ s3lint --list-rules
   float-eq         =/<>/==/!=/compare on float-evident operands; use an epsilon helper (LP bound and congestion math must not rely on exact float equality)
-  unsafe-indexing  Array/Bytes/String unsafe accessors; allowed only in the hot-path module allowlist and only with a justification annotation
+  unsafe-indexing  Array/Bytes/String unsafe accessors, and external declarations bound to unchecked %caml_*u load/store primitives; allowed only in the hot-path module allowlist and only with a justification annotation
   catch-all-exn    'with _ ->' or a handler that binds the exception and returns (); swallows Out_of_memory, Stack_overflow and every programming error
   no-print-in-lib  direct printf/print_*/prerr_* in lib/; route output through Sim.Report, Util.Table or a Logs source
   partial-stdlib   List.hd/tl/nth, Option.get, Hashtbl.find outside tests; use the _opt variant or pattern-match, or justify the invariant
   mli-required     every lib/**/*.ml must have a matching .mli so interfaces stay deliberate
   hashtbl-order    [typed] Hashtbl.fold/iter whose body accumulates into an order-sensitive structure (list cons, float +./*., string ^, list @, Buffer.add) without piping the result through a sort; hash-bucket order is not a stable order
   poly-compare     [typed] polymorphic compare/=/<>/Hashtbl.hash instantiated at a float-containing or abstract type; use Float.compare or a typed comparator (int instantiations pass)
-  domain-purity    [typed] closure passed to Sweep.map/map_list or Pool.run captures mutable state (ref, Hashtbl.t, Bytes.t, Buffer.t, Queue.t, Stack.t, Atomic.t, or a mutable record) from an enclosing scope; sweep jobs must be self-contained
+  domain-purity    [typed] closure passed to Sweep.map/map_list/map_ranges or Pool.run captures mutable state (ref, Hashtbl.t, Bytes.t, Buffer.t, Queue.t, Stack.t, Atomic.t, or a mutable record) from an enclosing scope; sweep jobs must be self-contained
   nondet-source    [typed] Random.* global-state calls (seed an explicit Random.State.t or Util.Prng instead), and wall-clock reads (Sys.time, Unix.gettimeofday, Unix.time) in lib/ — timing belongs in bench/
   suppression      a lint:allow annotation that is malformed or lacks a justification
   parse-error      the file could not be read or parsed

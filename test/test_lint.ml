@@ -77,6 +77,34 @@ let test_unsafe_suppressed () =
        "let f a i = Array.unsafe_get a i\n\
         [@@lint.allow \"unsafe-indexing\" \"i bounded by construction in recompute\"]")
 
+let test_unsafe_primitive () =
+  (* Unchecked %caml_*u load/store primitives are unsafe accessors in
+     external-declaration clothing: same rule, same allowlist gate. *)
+  (match
+     lint ~file:"lib/core/lpst.ml"
+       "external get64 : Bytes.t -> int -> int64 = \"%caml_bytes_get64u\""
+   with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "unsafe-indexing" f.Rules.rule;
+    Alcotest.(check bool) "non-suppressible outside allowlist" false f.Rules.suppressible
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  check_rules "hot module still needs justification" [ "unsafe-indexing" ]
+    (lint ~file:"lib/storage/schedule.ml"
+       "external get64 : Bytes.t -> int -> int64 = \"%caml_bytes_get64u\"");
+  check_rules "checked sibling primitive untouched" []
+    (lint ~file:"lib/core/lpst.ml"
+       "external get64 : Bytes.t -> int -> int64 = \"%caml_bytes_get64\"")
+
+let test_unsafe_primitive_suppressed () =
+  check_rules "justified comment above the declaration" []
+    (lint ~file:"lib/storage/schedule.ml"
+       "(* lint: allow unsafe-indexing — bounds validated once per apply *)\n\
+        external get64 : Bytes.t -> int -> int64 = \"%caml_bytes_get64u\"");
+  check_rules "justified attribute on the declaration" []
+    (lint ~file:"lib/storage/schedule.ml"
+       "external set64 : Bytes.t -> int -> int64 -> unit = \"%caml_bytes_set64u\"\n\
+        [@@lint.allow \"unsafe-indexing\" \"offsets pre-checked by check_regions\"]")
+
 (* --- catch-all-exn ------------------------------------------------ *)
 
 let test_catch_all_fires () =
@@ -221,7 +249,11 @@ let lint_typed ?(kind = Rules.Lib) source =
   (try Sys.rmdir dir with Sys_error _ -> ());
   findings
 
-let sweep_stub = "module Sweep = struct let map n f = Array.init n f end\n"
+let sweep_stub =
+  "module Sweep = struct\n\
+  \  let map n f = Array.init n f\n\
+  \  let map_ranges n f = Array.init n (fun i -> f ~lo:i ~hi:(i + 1))\n\
+   end\n"
 
 let test_hashtbl_order_fires () =
   check_rules "cons accumulation" [ "hashtbl-order" ]
@@ -304,7 +336,12 @@ let test_domain_purity_fires () =
     (lint_typed
        (sweep_stub
        ^ "let memo : (int, int) Hashtbl.t = Hashtbl.create 8\n\
-          let run () = Sweep.map 4 (fun i -> Hashtbl.replace memo i i; i)"))
+          let run () = Sweep.map 4 (fun i -> Hashtbl.replace memo i i; i)"));
+  check_rules "range spawn is a job boundary too" [ "domain-purity" ]
+    (lint_typed
+       (sweep_stub
+       ^ "let hits = ref 0\n\
+          let run () = Sweep.map_ranges 4 (fun ~lo ~hi -> incr hits; hi - lo)"))
 
 let test_domain_purity_quiet () =
   check_rules "array result slots are the sanctioned merge" []
@@ -404,6 +441,8 @@ let tests =
       tc "unsafe fires" `Quick test_unsafe_fires;
       tc "unsafe outside allowlist" `Quick test_unsafe_outside_allowlist;
       tc "unsafe suppressed" `Quick test_unsafe_suppressed;
+      tc "unsafe primitive fires" `Quick test_unsafe_primitive;
+      tc "unsafe primitive suppressed" `Quick test_unsafe_primitive_suppressed;
       tc "catch-all fires" `Quick test_catch_all_fires;
       tc "catch-all quiet" `Quick test_catch_all_quiet;
       tc "catch-all suppressed" `Quick test_catch_all_suppressed;

@@ -10,6 +10,7 @@ let () =
       Test_gf256.tests;
       Test_matrix.tests;
       Test_reed_solomon.tests;
+      Test_codec.tests;
       Test_topology.tests;
       Test_placement.tests;
       Test_cluster.tests;

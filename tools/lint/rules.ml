@@ -16,7 +16,8 @@ let rules =
       "=/<>/==/!=/compare on float-evident operands; use an epsilon helper \
        (LP bound and congestion math must not rely on exact float equality)" );
     ( "unsafe-indexing",
-      "Array/Bytes/String unsafe accessors; allowed only in the hot-path \
+      "Array/Bytes/String unsafe accessors, and external declarations bound to \
+       unchecked %caml_*u load/store primitives; allowed only in the hot-path \
        module allowlist and only with a justification annotation" );
     ( "catch-all-exn",
       "'with _ ->' or a handler that binds the exception and returns (); \
@@ -39,9 +40,10 @@ let rules =
        float-containing or abstract type; use Float.compare or a typed comparator \
        (int instantiations pass)" );
     ( "domain-purity",
-      "[typed] closure passed to Sweep.map/map_list or Pool.run captures mutable \
-       state (ref, Hashtbl.t, Bytes.t, Buffer.t, Queue.t, Stack.t, Atomic.t, or a \
-       mutable record) from an enclosing scope; sweep jobs must be self-contained" );
+      "[typed] closure passed to Sweep.map/map_list/map_ranges or Pool.run \
+       captures mutable state (ref, Hashtbl.t, Bytes.t, Buffer.t, Queue.t, \
+       Stack.t, Atomic.t, or a mutable record) from an enclosing scope; sweep \
+       jobs must be self-contained" );
     ( "nondet-source",
       "[typed] Random.* global-state calls (seed an explicit Random.State.t or \
        Util.Prng instead), and wall-clock reads (Sys.time, Unix.gettimeofday, \
@@ -53,7 +55,8 @@ let rules =
 
 let rule_names = List.map fst rules
 
-let hot_path_allowlist = [ "reed_solomon"; "gf256"; "simplex"; "engine"; "packing" ]
+let hot_path_allowlist =
+  [ "reed_solomon"; "gf256"; "schedule"; "simplex"; "engine"; "packing" ]
 
 let kind_of_path path =
   let path =
@@ -299,6 +302,20 @@ let partial_accessors =
     ([ "Hashtbl"; "find" ], "use Hashtbl.find_opt or justify key presence")
   ]
 
+(* Compiler intrinsics that skip bounds checks entirely — the word-wide
+   escape hatch the unsafe_get/set rule would otherwise miss. The
+   trailing 'u' is the unchecked marker ("%caml_bytes_get64u" vs the
+   checked "%caml_bytes_get64"). *)
+let unchecked_primitive name =
+  let prefixes =
+    [ "%caml_bytes_get"; "%caml_bytes_set"; "%caml_string_get"; "%caml_string_set";
+      "%caml_bigstring_get"; "%caml_bigstring_set"
+    ]
+  in
+  String.length name > 0
+  && name.[String.length name - 1] = 'u'
+  && List.exists (fun p -> String.starts_with ~prefix:p name) prefixes
+
 let print_functions =
   [ [ "print_endline" ]; [ "print_string" ]; [ "print_newline" ]; [ "print_char" ];
     [ "print_int" ]; [ "print_float" ]; [ "prerr_endline" ]; [ "prerr_string" ];
@@ -435,6 +452,28 @@ let collect ~kind ~file structure =
       structure_item =
         (fun self si ->
           (match si.pstr_desc with
+          | Pstr_primitive vd ->
+            suppressions := attr_suppressions vd.pval_attributes si.pstr_loc @ !suppressions;
+            List.iter
+              (fun prim ->
+                if unchecked_primitive prim then
+                  if in_hot_allowlist then
+                    report "unsafe-indexing" si.pstr_loc
+                      (Printf.sprintf
+                         "external %s = \"%s\" binds an unchecked accessor primitive; \
+                          in hot-path module '%s' it still needs a justification: \
+                          annotate with (* lint: allow unsafe-indexing — <bounds \
+                          argument> *)"
+                         vd.pval_name.txt prim (module_basename file))
+                  else
+                    report ~suppressible:false "unsafe-indexing" si.pstr_loc
+                      (Printf.sprintf
+                         "external %s = \"%s\" binds an unchecked accessor primitive \
+                          outside the hot-path allowlist (%s); use checked accessors \
+                          or move the kernel into an allowlisted module"
+                         vd.pval_name.txt prim
+                         (String.concat ", " hot_path_allowlist)))
+              vd.pval_prim
           | Pstr_attribute a ->
             (* [@@@lint.allow ...]: file-wide scope. *)
             suppressions :=

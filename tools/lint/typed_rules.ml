@@ -336,7 +336,9 @@ let wall_clock_names = [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ];
                          [ "Unix"; "time" ]; [ "Unix"; "times" ] ]
 
 let job_spawn_names =
-  [ [ "Sweep"; "map" ]; [ "Sweep"; "map_list" ]; [ "Pool"; "run" ] ]
+  [ [ "Sweep"; "map" ]; [ "Sweep"; "map_list" ]; [ "Sweep"; "map_ranges" ];
+    [ "Pool"; "run" ]
+  ]
 
 let positional (args : (Asttypes.arg_label * expression option) list) =
   List.filter_map (function Asttypes.Nolabel, Some e -> Some e | _ -> None) args

@@ -18,6 +18,12 @@
                                            encode/decode/reconstruct
                                            MB/s per kernel and chunk
                                            size in BENCH_8.json
+     dune exec bench/main.exe -- matrix    matrix mode: the full
+                                           6-profile x 3-code scenario
+                                           matrix, sequential vs
+                                           parallel wall clock and the
+                                           report fingerprint in
+                                           BENCH_9.json
 
    See bench/experiments.ml for the per-figure regenerators and
    EXPERIMENTS.md for paper-vs-measured. *)
@@ -448,6 +454,83 @@ let run_codec () =
   close_out oc;
   Printf.printf "\nwrote %s\n" codec_json_file
 
+(* Matrix mode: the full scenario matrix — every named profile against
+   every EC mix — timed once sequentially and once on the configured
+   domain pool, with the report fingerprint proving both sweeps (and
+   any CI rerun) produce the identical artifact. *)
+let matrix_json_file = "BENCH_9.json"
+
+module Matrix = S3_sim.Matrix
+module Profile = S3_workload.Profile
+
+let matrix_axes () =
+  { Matrix.profiles = List.map (fun p -> Profile.spec p) Profile.all;
+    codes = [ (6, 4); (9, 6); (12, 8) ];
+    topologies =
+      [ ("two-tier",
+         fun () ->
+           S3_net.Topology.two_tier ~racks:3 ~servers_per_rack:10 ~cst:500. ~cta:1500.) ];
+    algorithms = [ "edf"; "lpst" ];
+    tasks = 40;
+    seed = 11
+  }
+
+let run_matrix () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let axes = matrix_axes () in
+  let cells = Matrix.cell_count axes in
+  let domains = S3_par.Sweep.domain_count () in
+  print_endline "\n=== scenario matrix (6 profiles x 3 codes x 2 algorithms) ===";
+  let seq, seq_s = timed (fun () -> Matrix.run ~domains:1 axes) in
+  let par, par_s = timed (fun () -> Matrix.run ~domains axes) in
+  let fp_seq = Matrix.report_fingerprint seq in
+  let fp_par = Matrix.report_fingerprint par in
+  let deterministic = String.equal fp_seq fp_par in
+  Printf.printf
+    "%d cells: sequential %.3fs, parallel %.3fs on %d domains (speedup %.2fx), \
+     deterministic=%b\nreport fingerprint: %s\n%!"
+    cells seq_s par_s domains (seq_s /. par_s) deterministic fp_seq;
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"meta\": { \"git_rev\": \"%s\", \"ocaml\": \"%s\", \"domains\": %d },\n"
+       (json_escape (git_rev ()))
+       (json_escape Sys.ocaml_version)
+       domains);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"matrix\": { \"cells\": %d, \"tasks_per_cell\": %d, \"seed\": %d, \
+        \"sequential_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.4f, \
+        \"deterministic\": %b, \"report_fingerprint\": \"%s\" },\n"
+       cells axes.Matrix.tasks axes.Matrix.seed seq_s par_s (seq_s /. par_s) deterministic
+       (json_escape fp_seq));
+  Buffer.add_string b "  \"cells\": [\n";
+  List.iteri
+    (fun i (c : Matrix.cell) ->
+      let n, k = c.Matrix.code in
+      let m = c.Matrix.run in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"profile\": \"%s\", \"n\": %d, \"k\": %d, \"algorithm\": \"%s\", \
+            \"seed\": %d, \"completed\": %d, \"tasks\": %d, \"fingerprint\": \"%s\" }%s\n"
+           (json_escape c.Matrix.spec.Profile.profile.Profile.name)
+           n k (json_escape c.Matrix.algorithm) c.Matrix.cell_seed
+           (S3_sim.Metrics.completed m)
+           (List.length m.S3_sim.Metrics.outcomes)
+           (json_escape (S3_sim.Report.fingerprint m))
+           (if i < List.length seq - 1 then "," else "")))
+    seq;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out matrix_json_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" matrix_json_file
+
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   match args with
@@ -462,5 +545,6 @@ let () =
         | "bench" -> run_bench ()
         | "scale" -> run_scale ()
         | "codec" -> run_codec ()
+        | "matrix" -> run_matrix ()
         | id -> Experiments.run_experiment id)
       ids

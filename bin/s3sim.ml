@@ -3,12 +3,15 @@
    Subcommands:
      run       simulate a synthetic workload under one or more algorithms
      trace     simulate a Google-style trace file (or a synthetic one)
+     matrix    sweep profile x erasure code x topology x algorithm and
+               emit a markdown + CSV summary report
      example   replay the paper's Fig. 1 / Table 2 scenario
      gen       emit a synthetic trace in time,machine CSV form
 
    Examples:
      s3sim run --algorithms lpst,lpall --rate 1.2 --tasks 500
-     s3sim run --topology fat-tree --fg 0.4 --seed 7
+     s3sim run --profile 'db-oltp,scale=1.5' --seed 7
+     s3sim matrix --profiles 'mixed-70-30;db-oltp' --codes '6,4;9,6'
      s3sim trace --machines 30 --tasks 5000
      s3sim gen --tasks 1000 > trace.csv && s3sim trace --file trace.csv *)
 
@@ -16,7 +19,9 @@ open Cmdliner
 
 module Topology = S3_net.Topology
 module Generator = S3_workload.Generator
+module Profile = S3_workload.Profile
 module Trace = S3_workload.Trace
+module Matrix = S3_sim.Matrix
 module Registry = S3_core.Registry
 module Engine = S3_sim.Engine
 module Foreground = S3_sim.Foreground
@@ -208,6 +213,21 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv
     close_out oc;
     Printf.printf "(csv written to %s)\n" path
 
+let profile_arg =
+  let doc =
+    Printf.sprintf
+      "Generate the workload from a named fio-style profile instead of the \
+       rate/chunk/code flags: NAME[,scale=F][,tasks=N] with NAME one of %s. \
+       Foreground occupancy defaults to the profile's own; --fg overrides it."
+      (String.concat ", " Profile.names)
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"SPEC" ~doc)
+
+let parse_profile = function
+  | None -> Ok None
+  | Some spec -> (
+    match Profile.of_string spec with Ok s -> Ok (Some s) | Error e -> Error e)
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -226,34 +246,51 @@ let run_cmd =
          & info [ "deadline-jitter" ] ~doc:"Relative deadline-factor spread, [0,1).")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs tasks rate chunk (n, k)
-      factor jitter fg seed cloud verbose faults_spec watchdog_spec codec csv
+      factor jitter profile_spec fg seed cloud verbose faults_spec watchdog_spec codec csv
       no_incremental fingerprint =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
            parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec,
-           parse_codec codec)
+           parse_codec codec, parse_profile profile_spec)
     with
-    | Error e, _, _, _, _
-    | _, Error e, _, _, _
-    | _, _, Error e, _, _
-    | _, _, _, Error e, _
-    | _, _, _, _, Error e -> `Error (false, e)
-    | Ok topo, Ok names, Ok faults, Ok watchdog, Ok kernel ->
+    | Error e, _, _, _, _, _
+    | _, Error e, _, _, _, _
+    | _, _, Error e, _, _, _
+    | _, _, _, Error e, _, _
+    | _, _, _, _, Error e, _
+    | _, _, _, _, _, Error e -> `Error (false, e)
+    | Ok topo, Ok names, Ok faults, Ok watchdog, Ok kernel, Ok profile ->
       S3_storage.Reed_solomon.set_default_kernel kernel;
       (try
-         let cfg =
-           { Generator.num_tasks = tasks;
-             arrival_rate = rate;
-             chunk_size_mb = chunk;
-             code_mix = [ ((n, k), 1.) ];
-             deadline_factor = factor;
-             deadline_jitter = jitter;
-             placement = S3_storage.Placement.Rack_aware
-           }
+         let workload, header =
+           match profile with
+           | None ->
+             let cfg =
+               { Generator.num_tasks = tasks;
+                 arrival_rate = rate;
+                 chunk_size_mb = chunk;
+                 code_mix = [ ((n, k), 1.) ];
+                 deadline_factor = factor;
+                 deadline_jitter = jitter;
+                 placement = S3_storage.Placement.Rack_aware
+               }
+             in
+             ( Generator.generate (Prng.create seed) topo cfg,
+               Printf.sprintf "%d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s" tasks
+                 n k chunk rate )
+           | Some s ->
+             ( Profile.generate ~tasks (Prng.create seed) topo s,
+               Printf.sprintf "%d tasks, %s" (Profile.task_count ~default:tasks s)
+                 (Profile.to_string s) )
          in
-         let workload = Generator.generate (Prng.create seed) topo cfg in
-         Printf.printf "%s | %d tasks, (%d,%d) code, %.0f MB chunks, rate %.3f/s%s%s%s\n\n"
-           (Topology.name topo) tasks n k chunk rate
+         (* A profile implies its own foreground load; an explicit --fg
+            still wins. *)
+         let fg =
+           match profile with
+           | Some s when fg <= 0. -> s.Profile.profile.Profile.fg_frac
+           | _ -> fg
+         in
+         Printf.printf "%s | %s%s%s%s\n\n" (Topology.name topo) header
            (if cloud then " | emulated cloud" else "")
            (if Fault.is_empty faults then ""
             else Printf.sprintf " | faults: %s" (Fault.to_string faults))
@@ -269,9 +306,9 @@ let run_cmd =
     Term.(ret
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ tasks_arg $ rate_arg $ chunk_arg $ code_arg
-             $ factor_arg $ jitter_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg
-             $ faults_arg $ watchdog_arg $ codec_arg $ csv_arg $ no_incremental_arg
-             $ fingerprint_arg))
+             $ factor_arg $ jitter_arg $ profile_arg $ fg_arg $ seed_arg $ cloud_arg
+             $ verbose_arg $ faults_arg $ watchdog_arg $ codec_arg $ csv_arg
+             $ no_incremental_arg $ fingerprint_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a synthetic background-task workload.") term
 
@@ -334,6 +371,132 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate a Google-style arrival trace.") term
 
+(* ---- matrix ---- *)
+
+(* Axis parsers. Axis items are ';'-separated because profile specs use
+   ',' internally ('db-oltp,scale=1.5;mixed-70-30'). *)
+let axis_items s =
+  String.split_on_char ';' s |> List.map String.trim |> List.filter (fun i -> i <> "")
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest -> (
+    match f x with
+    | Error _ as e -> e
+    | Ok y -> ( match collect f rest with Ok ys -> Ok (y :: ys) | Error _ as e -> e))
+
+let parse_profile_axis s =
+  match axis_items s with
+  | [] -> Error "matrix: empty profile axis"
+  | items -> collect Profile.of_string items
+
+let parse_code_axis s =
+  match axis_items s with
+  | [] -> Error "matrix: empty code axis"
+  | items ->
+    collect
+      (fun item ->
+        match String.split_on_char ',' item |> List.map String.trim with
+        | [ n; k ] -> (
+          match (int_of_string_opt n, int_of_string_opt k) with
+          | Some n, Some k when k > 0 && n >= k -> Ok (n, k)
+          | Some _, Some _ -> Error (Printf.sprintf "matrix codes: (%s) needs N >= K >= 1" item)
+          | _ -> Error (Printf.sprintf "matrix codes: %S is not N,K" item))
+        | _ -> Error (Printf.sprintf "matrix codes: %S is not N,K" item))
+      items
+
+let parse_topology_axis ~racks ~servers ~cst ~cta ~fat_k ~ports ~levels s =
+  match axis_items s with
+  | [] -> Error "matrix: empty topology axis"
+  | items ->
+    collect
+      (fun kind ->
+        (* Validate eagerly so a bad axis fails before any cell runs;
+           the sweep jobs rebuild from the closure, never share this
+           instance. *)
+        match make_topology kind racks servers cst cta fat_k ports levels with
+        | Error e -> Error ("matrix: " ^ e)
+        | Ok _ ->
+          Ok
+            ( String.lowercase_ascii kind,
+              fun () ->
+                match make_topology kind racks servers cst cta fat_k ports levels with
+                | Ok t -> t
+                | Error e -> invalid_arg e ))
+      items
+
+let matrix_cmd =
+  let profiles_arg =
+    let doc =
+      Printf.sprintf
+        "';'-separated profile specs (NAME[,scale=F][,tasks=N]); profiles: %s."
+        (String.concat ", " Profile.names)
+    in
+    Arg.(value & opt string (String.concat ";" Profile.names)
+         & info [ "profiles" ] ~docv:"SPECS" ~doc)
+  in
+  let codes_arg =
+    Arg.(value & opt string "6,4;9,6;12,8"
+         & info [ "codes" ] ~docv:"N,K;..." ~doc:"';'-separated erasure codes.")
+  in
+  let topologies_arg =
+    Arg.(value & opt string "two-tier"
+         & info [ "topologies" ] ~docv:"KINDS"
+             ~doc:"';'-separated topology kinds (shaped by the --racks/--fat-k/... flags).")
+  in
+  let tasks_arg =
+    Arg.(value & opt int 60
+         & info [ "tasks" ] ~doc:"Tasks per cell, for specs without their own tasks=N.")
+  in
+  let md_arg =
+    Arg.(value & opt string "-"
+         & info [ "md" ] ~docv:"FILE" ~doc:"Markdown report destination ('-' for stdout).")
+  in
+  let csv_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the per-cell CSV to $(docv) ('-' for stdout).")
+  in
+  let run topo_racks topo_servers cst cta fat_k ports levels profiles codes topologies algs
+      tasks seed md csv verbose =
+    setup_logs verbose;
+    match
+      ( parse_profile_axis profiles,
+        parse_code_axis codes,
+        parse_topology_axis ~racks:topo_racks ~servers:topo_servers ~cst ~cta ~fat_k ~ports
+          ~levels topologies,
+        parse_algorithms algs )
+    with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      `Error (false, e)
+    | Ok profiles, Ok codes, Ok topologies, Ok algorithms -> (
+      let axes = { Matrix.profiles; codes; topologies; algorithms; tasks; seed } in
+      try
+        let cells = Matrix.run axes in
+        let emit what path body =
+          match path with
+          | "-" -> print_string body
+          | path ->
+            let oc = open_out path in
+            output_string oc body;
+            close_out oc;
+            Printf.printf "(%s written to %s)\n" what path
+        in
+        emit "markdown report" md (Matrix.markdown axes cells);
+        (match csv with None -> () | Some path -> emit "csv" path (Matrix.csv cells));
+        `Ok ()
+      with Invalid_argument m -> `Error (false, m))
+  in
+  let term =
+    Term.(ret
+            (const run $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports $ bcube_levels
+             $ profiles_arg $ codes_arg $ topologies_arg $ algorithms_arg $ tasks_arg
+             $ seed_arg $ md_arg $ csv_out_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Sweep profile x erasure code x topology x algorithm; emit a summary report.")
+    term
+
 (* ---- example ---- *)
 
 let example_cmd =
@@ -364,4 +527,4 @@ let gen_cmd =
 let () =
   let doc = "joint scheduling and source selection for erasure-coded background traffic" in
   let info = Cmd.info "s3sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; example_cmd; gen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; matrix_cmd; example_cmd; gen_cmd ]))

@@ -121,10 +121,12 @@ let pick_profile g profiles =
     go 0. profiles
 
 let generate_mixed g topo ~num_tasks ~arrival_rate ~chunk_size_mb
-    ?(profiles = default_mix) () =
+    ?(deadline_jitter = 0.) ?(profiles = default_mix) () =
   if num_tasks < 0 then invalid_arg "Generator.generate_mixed: negative num_tasks";
   if arrival_rate <= 0. then invalid_arg "Generator.generate_mixed: arrival_rate";
   if chunk_size_mb <= 0. then invalid_arg "Generator.generate_mixed: chunk_size_mb";
+  if deadline_jitter < 0. || deadline_jitter >= 1. then
+    invalid_arg "Generator.generate_mixed: deadline_jitter must be in [0, 1)";
   List.iter
     (fun p ->
       if p.weight < 0. then invalid_arg "Generator.generate_mixed: negative weight";
@@ -138,6 +140,15 @@ let generate_mixed g topo ~num_tasks ~arrival_rate ~chunk_size_mb
   let nservers = Topology.servers topo in
   let volume = mb_to_megabits chunk_size_mb in
   let now = ref 0. in
+  (* Jitter draws happen only when requested, so jitter-free callers
+     keep their historical PRNG streams (and task lists) byte-exact. *)
+  let factor_of g base =
+    if deadline_jitter <= 0. then base
+    else
+      Prng.uniform g
+        (base *. (1. -. deadline_jitter))
+        (base *. (1. +. deadline_jitter))
+  in
   List.init num_tasks (fun id ->
       now := !now +. Prng.exponential g ~rate:arrival_rate;
       let p = pick_profile g profiles in
@@ -152,7 +163,7 @@ let generate_mixed g topo ~num_tasks ~arrival_rate ~chunk_size_mb
         in
         let lrt = volume /. cst in
         Task.v ~id ~kind:p.kind ~arrival:!now
-          ~deadline:(!now +. (p.profile_deadline_factor *. lrt))
+          ~deadline:(!now +. (factor_of g p.profile_deadline_factor *. lrt))
           ~volume ~k:1 ~sources:[| source |] ~destination ()
       | Some (n, k) ->
         if n + 1 > nservers then
@@ -166,7 +177,7 @@ let generate_mixed g topo ~num_tasks ~arrival_rate ~chunk_size_mb
         in
         let lrt = float_of_int k *. volume /. cst in
         Task.v ~id ~kind:p.kind ~arrival:!now
-          ~deadline:(!now +. (p.profile_deadline_factor *. lrt))
+          ~deadline:(!now +. (factor_of g p.profile_deadline_factor *. lrt))
           ~volume ~k ~sources ~destination ())
 
 let repair_tasks_on_failure g cluster ~server ~now ~deadline_factor ~first_id =

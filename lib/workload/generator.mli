@@ -59,11 +59,15 @@ val default_mix : kind_profile list
 val generate_mixed :
   S3_util.Prng.t -> S3_net.Topology.t ->
   num_tasks:int -> arrival_rate:float -> chunk_size_mb:float ->
-  ?profiles:kind_profile list -> unit -> Task.t list
+  ?deadline_jitter:float -> ?profiles:kind_profile list -> unit -> Task.t list
 (** Heterogeneous background traffic: each task draws a profile by
     weight. This is the workload where deadline order and arrival order
     genuinely differ, separating EDF-style from FIFO-style scheduling
-    (see the bench's `heterogeneous` experiment). *)
+    (see the bench's `heterogeneous` experiment). [deadline_jitter]
+    (default 0, must lie in [0, 1)) spreads each task's deadline factor
+    uniformly over [factor*(1-j), factor*(1+j)] as in {!generate}; 0
+    draws nothing from the PRNG, so jitter-free streams are unchanged.
+    The named {!Profile}s feed this entry point. *)
 
 val repair_tasks_on_failure :
   S3_util.Prng.t -> S3_storage.Cluster.t -> server:int -> now:float ->

@@ -1,0 +1,91 @@
+(** Named fio-style workload profiles — the scenario-diversity axis of
+    the matrix runner.
+
+    Storage benchmarking suites describe load as a small vocabulary of
+    named profiles (sequential-rw, random-rw, db-oltp, ...) rather than
+    raw parameter grids; conclusions about scheduling policies flip
+    across these mixes, so the repo sweeps them as a first-class
+    dimension. Each profile fixes the background-traffic shape — arrival
+    rate, chunk size, task-kind mix with per-kind deadline factors,
+    deadline jitter and foreground occupancy — and compiles into the
+    existing {!Generator} parameters. A compact spec grammar
+    ([profile=db-oltp,scale=1.5]) selects and scales a profile from the
+    CLI; parsing and printing round-trip exactly. *)
+
+type t = private {
+  name : string;  (** the spec-grammar key, e.g. ["db-oltp"] *)
+  summary : string;  (** one line for reports and [--help] *)
+  arrival_rate : float;  (** Poisson arrivals per second at scale 1 *)
+  chunk_size_mb : float;  (** per-chunk payload, megabytes *)
+  mix : Generator.kind_profile list;
+      (** task-kind blend; [Some (n, k)] entries are re-coded when the
+          matrix sweeps an erasure-code dimension *)
+  deadline_jitter : float;  (** relative deadline-factor spread, [0, 1) *)
+  fg_frac : float;
+      (** foreground occupancy this profile implies: max fraction of
+          each link the foreground process may take (0 = idle cluster) *)
+}
+
+val all : t list
+(** The six named profiles, in canonical report order:
+    [sequential-rw], [random-rw], [mixed-70-30], [db-oltp],
+    [app-server], [data-pipeline]. *)
+
+val names : string list
+(** Names of {!all}, same order. *)
+
+val find : string -> (t, string) result
+(** Case-insensitive lookup by name; the error lists valid names. *)
+
+(** {1 Specs — a profile plus run-shaping overrides} *)
+
+type spec = {
+  profile : t;
+  scale : float;
+      (** load multiplier: arrival rate is [profile.arrival_rate *
+          scale]; chunk volume is untouched, so offered load scales
+          linearly. Finite, > 0. *)
+  tasks : int option;  (** per-run task count; [None] defers to the
+                           caller's default *)
+}
+
+val spec : ?scale:float -> ?tasks:int -> t -> spec
+(** [scale] defaults to 1. Raises [Invalid_argument] on a non-finite or
+    non-positive scale or a negative task count. *)
+
+val arrival_rate : spec -> float
+(** [profile.arrival_rate *. scale]. *)
+
+val task_count : default:int -> spec -> int
+(** The spec's task count, or [default] when the spec left it open. *)
+
+val of_string : string -> (spec, string) result
+(** Parse [NAME] or [profile=NAME] followed by optional
+    [,scale=F][,tasks=N] items in any order. Errors are one-line and
+    human-readable (unknown profile, bad number, out-of-range value,
+    unknown key, duplicate profile). *)
+
+val to_string : spec -> string
+(** Canonical form: [profile=NAME,scale=F[,tasks=N]] with the scale in
+    shortest round-trip decimal; [of_string (to_string s)] returns a
+    spec equal to [s]. *)
+
+val default_tasks : int
+(** Task count used when neither the spec nor the caller names one
+    (200 — small enough for a multi-cell matrix, large enough to
+    separate the algorithms). *)
+
+val compile_mix : ?code:int * int -> t -> Generator.kind_profile list
+(** The profile's task-kind mix, with every [Some (n, k)] entry
+    re-coded to [code] when given — the hook the matrix runner's
+    erasure-code dimension plugs into. Single-source ([None]) entries
+    are untouched. *)
+
+val generate :
+  ?code:int * int -> ?tasks:int ->
+  S3_util.Prng.t -> S3_net.Topology.t -> spec -> Task.t list
+(** Compile the spec and synthesize its task stream via
+    {!Generator.generate_mixed}. [code] re-codes the mix as in
+    {!compile_mix}; [tasks] is the fallback count for specs that left
+    [tasks] unset (default {!default_tasks}). Same PRNG seed, spec and
+    topology give an identical list. *)

@@ -31,6 +31,48 @@ An out-of-range watchdog value:
   s3sim: Watchdog.v: backoff must be finite and > 0
   [124]
 
+An unknown workload profile:
+
+  $ s3sim run --tasks 1 --profile 'profile=nope'
+  s3sim: unknown profile "nope" (expected one of sequential-rw, random-rw, mixed-70-30, db-oltp, app-server, data-pipeline)
+  [124]
+
+A profile spec with an out-of-range scale:
+
+  $ s3sim run --tasks 1 --profile 'db-oltp,scale=0'
+  s3sim: profile scale: "0" must be finite and > 0
+  [124]
+
+A profile spec with an unknown key:
+
+  $ s3sim run --tasks 1 --profile 'db-oltp,bogus=1'
+  s3sim: profile "bogus=1": unknown key "bogus" (expected profile, scale or tasks)
+  [124]
+
+A matrix with an empty axis:
+
+  $ s3sim matrix --profiles ''
+  s3sim: matrix: empty profile axis
+  [124]
+
+A matrix code item that is not an N,K pair:
+
+  $ s3sim matrix --codes '6,4;nope'
+  s3sim: matrix codes: "nope" is not N,K
+  [124]
+
+A matrix code pair with k > n:
+
+  $ s3sim matrix --codes '4,6'
+  s3sim: matrix codes: (4,6) needs N >= K >= 1
+  [124]
+
+A matrix naming an unknown algorithm:
+
+  $ s3sim matrix --algorithms edf,zzz
+  s3sim: Registry.make: unknown algorithm "zzz"
+  [124]
+
 Well-formed specs run; the watchdog columns appear only when the
 watchdog is on:
 

@@ -1,0 +1,111 @@
+The scenario matrix sweeps profile x erasure code x topology x
+algorithm and emits a markdown summary plus a per-cell CSV. Both
+artifacts are pure functions of the axes and the base seed — no
+wall-clock fields, no hash order, no domain-count dependence — so this
+golden pins them byte for byte. CI reruns the same matrix and fails on
+any drift of the final report fingerprint.
+
+The full markdown report for a 2 x 2 x 1 x 2 matrix:
+
+  $ s3sim matrix --profiles 'mixed-70-30;db-oltp' --codes '6,4;9,6' --algorithms edf,lpst --tasks 40 --seed 5
+  # Scenario matrix report
+  
+  8 cells: 2 profiles x 2 erasure codes x 1 topologies x 2 algorithms, 40 tasks per cell, base seed 5.
+  
+  ## Dimensions
+  
+  | dimension | values |
+  |---|---|
+  | profile | mixed-70-30 x1 (70% repair reads / 30% rebalance writes at 64 MB); db-oltp x1 (latency-critical 4 MB repairs on a busy cluster) |
+  | erasure code | (6,4); (9,6) |
+  | topology | two-tier |
+  | algorithm | edf; lpst |
+  
+  ## Algorithm ranking
+  
+  Pooled over every cell an algorithm ran; a group win means no competitor completed more tasks on that (profile, code, topology) workload.
+  
+  | rank | algorithm | deadline-hit | wasted (GB) | group wins |
+  |---|---|---|---|---|
+  | 1 | lpst | 159/160 (99.4%) | 0.00 | 4/4 |
+  | 2 | edf | 37/160 (23.1%) | 16.53 | 0/4 |
+  
+  ## Per-cell results
+  
+  ### profile mixed-70-30 (x1)
+  
+  70% repair reads / 30% rebalance writes at 64 MB
+  
+  | code | topology | algorithm | deadline-hit | remaining (GB) | throughput (Mb/s) | wasted (GB) | utilization |
+  |---|---|---|---|---|---|---|---|
+  | (6,4) | two-tier | edf | 9/40 (22.5%) | 6.74 | 460.9 | 6.98 | 6.9% |
+  | (6,4) | two-tier | lpst | 40/40 (100.0%) | 0.00 | 1267.6 | 0.00 | 18.6% |
+  | (9,6) | two-tier | edf | 15/40 (37.5%) | 7.80 | 461.5 | 8.32 | 6.9% |
+  | (9,6) | two-tier | lpst | 40/40 (100.0%) | 0.00 | 1494.7 | 0.00 | 21.7% |
+  ### profile db-oltp (x1)
+  
+  latency-critical 4 MB repairs on a busy cluster
+  
+  | code | topology | algorithm | deadline-hit | remaining (GB) | throughput (Mb/s) | wasted (GB) | utilization |
+  |---|---|---|---|---|---|---|---|
+  | (6,4) | two-tier | edf | 7/40 (17.5%) | 0.43 | 357.3 | 0.46 | 5.3% |
+  | (6,4) | two-tier | lpst | 39/40 (97.5%) | 0.02 | 453.5 | 0.00 | 6.7% |
+  | (9,6) | two-tier | edf | 6/40 (15.0%) | 0.67 | 388.3 | 0.78 | 5.8% |
+  | (9,6) | two-tier | lpst | 40/40 (100.0%) | 0.00 | 611.4 | 0.00 | 8.9% |
+  
+  ## Run fingerprints
+  
+  MD5 over every timing-independent metric of the cell's run (see Report.fingerprint); any scheduling change moves these.
+  
+  | cell | seed | fingerprint |
+  |---|---|---|
+  | mixed-70-30 x1/(6,4)/two-tier/edf | 5 | 3b66545ce0feb65a9ca29bd1041d3e1e |
+  | mixed-70-30 x1/(6,4)/two-tier/lpst | 5 | 6d62f3bae512df710a5512764189ce84 |
+  | mixed-70-30 x1/(9,6)/two-tier/edf | 10012 | 3ae66ed6e7dc2acaaa4a9b8436bcdb6a |
+  | mixed-70-30 x1/(9,6)/two-tier/lpst | 10012 | e1810933585524b368be38fee2cc2461 |
+  | db-oltp x1/(6,4)/two-tier/edf | 1000008 | 3a0c9cf7057f99231880c597ea41880b |
+  | db-oltp x1/(6,4)/two-tier/lpst | 1000008 | 27b28047f28f0812f788f3c577a565b1 |
+  | db-oltp x1/(9,6)/two-tier/edf | 1010015 | 8774089d61bfcf60168f685636a860a3 |
+  | db-oltp x1/(9,6)/two-tier/lpst | 1010015 | b09b0718e0ade78cfb0590fbe6a03252 |
+  
+  Report fingerprint: f1b799ab2d09d935a6ecc4dd8bd72823
+
+The CSV artifact for the same cells:
+
+  $ s3sim matrix --profiles 'mixed-70-30;db-oltp' --codes '6,4;9,6' --algorithms edf,lpst --tasks 40 --seed 5 --md report.md --csv -
+  (markdown report written to report.md)
+  profile,scale,n,k,topology,algorithm,seed,tasks,completed,hit_rate,remaining_gb,throughput_mbps,wasted_gb,utilization,horizon_s,fingerprint
+  mixed-70-30,1,6,4,two-tier,edf,5,40,9,0.2250,6.7432,460.86,6.9760,0.068743,147.758,3b66545ce0feb65a9ca29bd1041d3e1e
+  mixed-70-30,1,6,4,two-tier,lpst,5,40,40,1.0000,0.0000,1267.55,0.0000,0.185988,53.722,6d62f3bae512df710a5512764189ce84
+  mixed-70-30,1,9,6,two-tier,edf,10012,40,15,0.3750,7.7982,461.50,8.3200,0.069109,177.508,3ae66ed6e7dc2acaaa4a9b8436bcdb6a
+  mixed-70-30,1,9,6,two-tier,lpst,10012,40,40,1.0000,0.0000,1494.65,0.0000,0.216649,54.809,e1810933585524b368be38fee2cc2461
+  db-oltp,1,6,4,two-tier,edf,1000008,40,7,0.1750,0.4346,357.33,0.4560,0.052558,12.448,3a0c9cf7057f99231880c597ea41880b
+  db-oltp,1,6,4,two-tier,lpst,1000008,40,39,0.9750,0.0160,453.51,0.0000,0.066509,9.526,27b28047f28f0812f788f3c577a565b1
+  db-oltp,1,9,6,two-tier,edf,1010015,40,6,0.1500,0.6652,388.33,0.7760,0.057625,18.129,8774089d61bfcf60168f685636a860a3
+  db-oltp,1,9,6,two-tier,lpst,1010015,40,40,1.0000,0.0000,611.45,0.0000,0.089163,11.514,b09b0718e0ade78cfb0590fbe6a03252
+
+Stdout and file renderings are the same bytes:
+
+  $ s3sim matrix --profiles 'mixed-70-30;db-oltp' --codes '6,4;9,6' --algorithms edf,lpst --tasks 40 --seed 5 > stdout.md
+  $ diff stdout.md report.md
+
+One domain and four domains produce identical artifacts (the sweep's
+determinism contract):
+
+  $ S3_DOMAINS=1 s3sim matrix --profiles 'mixed-70-30;db-oltp' --codes '6,4;9,6' --algorithms edf,lpst --tasks 40 --seed 5 --md one.md --csv one.csv
+  (markdown report written to one.md)
+  (csv written to one.csv)
+  $ S3_DOMAINS=4 s3sim matrix --profiles 'mixed-70-30;db-oltp' --codes '6,4;9,6' --algorithms edf,lpst --tasks 40 --seed 5 --md four.md --csv four.csv
+  (markdown report written to four.md)
+  (csv written to four.csv)
+  $ diff one.md four.md
+  $ diff one.csv four.csv
+  $ diff one.md report.md
+
+A scaled spec and a spec-level task override flow into the cells:
+
+  $ s3sim matrix --profiles 'sequential-rw,scale=2,tasks=6' --codes '6,4' --algorithms lpst --tasks 40 --seed 5 --md - | grep -A3 '^| rank'
+  | rank | algorithm | deadline-hit | wasted (GB) | group wins |
+  |---|---|---|---|---|
+  | 1 | lpst | 6/6 (100.0%) | 0.00 | 1/1 |
+  

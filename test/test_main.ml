@@ -15,6 +15,7 @@ let () =
       Test_placement.tests;
       Test_cluster.tests;
       Test_workload.tests;
+      Test_profile.tests;
       Test_pipeline.tests;
       Test_integrity.tests;
       Test_core.tests;

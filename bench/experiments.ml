@@ -112,7 +112,7 @@ let table2 () =
                  (Char.chr (Char.code 'A' + f.S3_core.Problem.task.Task.id))
                  f.S3_core.Problem.task.Task.id f.S3_core.Problem.source r)
           | _ -> None)
-        view.S3_core.Problem.flows
+        (Lazy.force view.S3_core.Problem.flows)
     in
     if parts <> [] then Printf.printf "  t=%6.2f  %s\n" now (String.concat "  " parts)
   in
@@ -411,7 +411,7 @@ let plan_computation ~m name =
   let view =
     { S3_core.Problem.now = List.fold_left (fun acc (t : Task.t) -> max acc t.Task.arrival) 0. tasks;
       topo;
-      flows;
+      flows = lazy flows;
       available = (fun e -> (Topology.entity topo e).Topology.capacity);
       load = None
     }
@@ -451,6 +451,25 @@ let storm_scene_run ?watchdog ~m name =
   in
   Engine.run ~faults ?watchdog topo (Registry.make name) tasks
 
+(* The same burst scene under a crash storm (five servers die at
+   t = 30), swept over failure-detector latencies. Detection off (or
+   latency 0) reproduces the omniscient engine; larger latencies
+   quantify how much completed work late detection costs, and the
+   resume-enabled retry policy bounds how much of the stranded partial
+   progress survives the re-homes. *)
+let detect_storm_scene_run ?detector ?retry ~m name =
+  let topo = topo () in
+  let g = Prng.create (97 + m) in
+  let cfg = config ~tasks:m ~rate:1000. () in
+  let tasks = Generator.generate g topo cfg in
+  let faults =
+    Fault.plan
+      (List.map
+         (fun s -> { Fault.time = 30.; kind = Fault.Server_crash s })
+         [ 10; 11; 12; 13; 14 ])
+  in
+  Engine.run ~faults ?detector ?retry topo (Registry.make name) tasks
+
 (* ------------------------------------------------------------------ *)
 (* Scale scenes: the O(affected) engine on a datacenter-sized fabric.  *)
 
@@ -489,6 +508,34 @@ let scale_tasks ~m =
 let scale_scene_run ?(incremental = true) ~m name =
   let topo = scale_topo () in
   Engine.run ~incremental topo (Registry.make ~incremental name) (scale_tasks ~m)
+
+(* Spawn-pressure variant: the same hand-built leaf-local workload in
+   20 arrival waves of m/20 tasks, so the engine performs thousands of
+   per-task spawns while tens of thousands of flows are already
+   active. Phase-I source selection at each spawn builds a
+   {!S3_core.Problem.view}; before [view.flows] became lazy every one
+   of those constructions walked the full active-flow list, which
+   dominated this scene at m = 10000. The per-event wall time here is
+   the regression gate for that index. *)
+let scale_spawn_tasks ~m =
+  (* Chunks are kept small so each wave drains before the next few
+     land: the scene stresses spawn frequency (m spawns against a
+     steadily busy fabric), not planning under terminal overload. *)
+  let volume = 200. (* Mb *) and deadline = 30. in
+  let wave = max 1 (m / 20) in
+  List.init m (fun i ->
+      let leaf = i mod scale_leaves in
+      let base = leaf * scale_per_leaf in
+      let slot = i / scale_leaves in
+      let dst = base + (slot mod scale_per_leaf) in
+      let sources = Array.init 6 (fun j -> base + ((slot + 1 + j) mod scale_per_leaf)) in
+      Task.v ~id:i
+        ~arrival:(float_of_int (i / wave))
+        ~deadline ~volume ~k:4 ~sources ~destination:dst ())
+
+let scale_spawn_scene_run ~m name =
+  let topo = scale_topo () in
+  Engine.run topo (Registry.make name) (scale_spawn_tasks ~m)
 
 let fig5_sizes = [ 10; 25; 50; 100; 200; 400 ]
 

@@ -24,6 +24,15 @@
                                            parallel wall clock and the
                                            report fingerprint in
                                            BENCH_9.json
+     dune exec bench/main.exe -- detect    detection mode: crash-storm
+                                           scenes swept over failure-
+                                           detector latencies (off vs
+                                           0/2/10 s) with the resume-
+                                           enabled retry policy, plus
+                                           the 10k-task spawn-pressure
+                                           scene timing the lazy
+                                           Phase-I view, in
+                                           BENCH_10.json
 
    See bench/experiments.ml for the per-figure regenerators and
    EXPERIMENTS.md for paper-vs-measured. *)
@@ -471,6 +480,8 @@ let matrix_axes () =
          fun () ->
            S3_net.Topology.two_tier ~racks:3 ~servers_per_rack:10 ~cst:500. ~cta:1500.) ];
     algorithms = [ "edf"; "lpst" ];
+    detectors = [ ("off", None) ];
+    faults = S3_fault.Fault.empty;
     tasks = 40;
     seed = 11
   }
@@ -531,6 +542,112 @@ let run_matrix () =
   close_out oc;
   Printf.printf "\nwrote %s\n" matrix_json_file
 
+(* Detection mode: the crash-storm scenes swept over detector
+   latencies (BENCH_10.json). Two properties are runner-independent
+   and gated in CI: the detection-off run must carry the identical
+   fingerprint to the zero-latency detector run once the detection
+   counters are scrubbed (the "omniscient equivalence" the test suite
+   pins on chaos scenarios, here on the bench workload), and nonzero
+   latency must strand partial progress that the resume-enabled retry
+   policy then recovers (bytes_resumed > 0). The spawn-pressure scene
+   times the lazy Phase-I view at 10k staggered arrivals; its
+   per-event wall time is compared against the cached baseline. *)
+let detect_json_file = "BENCH_10.json"
+
+let run_detect () =
+  let module Metrics = S3_sim.Metrics in
+  let module Report = S3_sim.Report in
+  let module Detector = S3_fault.Detector in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let scrub (r : Metrics.run) =
+    Report.fingerprint
+      { r with Metrics.suspicions = 0; false_suspicions = 0; detections = 0 }
+  in
+  let m = 100 in
+  let retry = S3_sim.Retry.default in
+  print_endline "\n=== detection-storm scenes (crash storm, detector latency sweep) ===";
+  let scenes =
+    List.map
+      (fun (label, latency) ->
+        let detector =
+          Option.map (fun l -> Detector.v ~suspect:l ~confirm:0. ()) latency
+        in
+        let r, wall =
+          timed (fun () -> Experiments.detect_storm_scene_run ?detector ~retry ~m "lpst")
+        in
+        Printf.printf
+          "lpst m=%d detector=%s: completed=%d detections=%d resumed=%.0fMb \
+           wasted=%.0fMb plan_time=%.4fs wall=%.2fs\n%!"
+          m label (Metrics.completed r) r.Metrics.detections r.Metrics.bytes_resumed
+          r.Metrics.wasted r.Metrics.plan_time wall;
+        (label, r, wall))
+      [ ("off", None); ("latency-0", Some 0.); ("latency-2", Some 2.);
+        ("latency-10", Some 10.)
+      ]
+  in
+  let find label = match List.find (fun (l, _, _) -> String.equal l label) scenes with
+    | _, r, _ -> r
+  in
+  let fp_off = Report.fingerprint (find "off") in
+  let fp_zero = scrub (find "latency-0") in
+  let identical = String.equal fp_off fp_zero in
+  Printf.printf "detection-off vs zero-latency (counters scrubbed): identical=%b\n%!"
+    identical;
+  print_endline "\n=== spawn-pressure scene (lazy Phase-I view, staggered arrivals) ===";
+  let spawn_m = 10000 in
+  let spawn_run, spawn_wall =
+    timed (fun () -> Experiments.scale_spawn_scene_run ~m:spawn_m "lpst")
+  in
+  let per_event_wall_us =
+    1e6 *. spawn_wall /. float_of_int (max 1 spawn_run.Metrics.events)
+  in
+  Printf.printf "lpst m=%d: events=%d wall=%.2fs per_event=%.1fus\n%!" spawn_m
+    spawn_run.Metrics.events spawn_wall per_event_wall_us;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"meta\": { \"git_rev\": \"%s\", \"ocaml\": \"%s\" },\n"
+       (json_escape (git_rev ()))
+       (json_escape Sys.ocaml_version));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"identity\": { \"off_fingerprint\": \"%s\", \
+        \"zero_latency_scrubbed\": \"%s\", \"identical\": %b },\n"
+       (json_escape fp_off) (json_escape fp_zero) identical);
+  Buffer.add_string b "  \"scenes\": [\n";
+  List.iteri
+    (fun i (label, (r : Metrics.run), wall) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"detector\": \"%s\", \"tasks\": %d, \"completed\": %d, \
+            \"detections\": %d, \"flows_killed\": %d, \"bytes_resumed_mb\": %.2f, \
+            \"wasted_mb\": %.2f, \"plan_time_s\": %.6f, \"wall_s\": %.3f, \
+            \"fingerprint\": \"%s\" }%s\n"
+           (json_escape label) m (Metrics.completed r) r.Metrics.detections
+           r.Metrics.flows_killed r.Metrics.bytes_resumed r.Metrics.wasted
+           r.Metrics.plan_time wall
+           (json_escape (Report.fingerprint r))
+           (if i < List.length scenes - 1 then "," else "")))
+    scenes;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  ],\n  \"spawn\": { \"servers\": %d, \"tasks\": %d, \"events\": %d, \
+        \"completed\": %d, \"wall_s\": %.3f, \"per_event_wall_us\": %.2f, \
+        \"fingerprint\": \"%s\" }\n}\n"
+       (S3_net.Topology.servers (Experiments.scale_topo ()))
+       spawn_m spawn_run.Metrics.events
+       (Metrics.completed spawn_run)
+       spawn_wall per_event_wall_us
+       (json_escape (Report.fingerprint spawn_run)));
+  let oc = open_out detect_json_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" detect_json_file
+
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   match args with
@@ -546,5 +663,6 @@ let () =
         | "scale" -> run_scale ()
         | "codec" -> run_codec ()
         | "matrix" -> run_matrix ()
+        | "detect" -> run_detect ()
         | id -> Experiments.run_experiment id)
       ids

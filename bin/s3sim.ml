@@ -138,7 +138,36 @@ let parse_watchdog = function
   | Some spec -> (
     match S3_sim.Watchdog.of_string spec with Ok c -> Ok (Some c) | Error e -> Error e)
 
-let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv
+let detect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "detect" ] ~docv:"SPEC"
+           ~doc:"Replace omniscient failure handling with the deterministic \
+                 heartbeat detector: comma-separated overrides among suspect=S \
+                 and confirm=C (seconds), latency=L (shorthand for suspect=L, \
+                 confirm=0), and fp=N, fp-seed=K, fp-horizon=H for seeded false \
+                 suspicions, e.g. 'suspect=1,confirm=2'; 'default' for the \
+                 defaults. Only meaningful together with --faults.")
+
+let parse_detect = function
+  | None -> Ok None
+  | Some spec -> (
+    match S3_fault.Detector.of_string spec with Ok c -> Ok (Some c) | Error e -> Error e)
+
+let retry_arg =
+  Arg.(value & opt (some string) None
+       & info [ "retry" ] ~docv:"SPEC"
+           ~doc:"Arm per-flow stall retries for transient link degradations: \
+                 comma-separated overrides among retries=N, timeout=T (seconds), \
+                 backoff=B and resume=BOOL (resume-from-partial-progress for \
+                 every replacement fetch), e.g. 'retries=3,timeout=0.5'; \
+                 'default' for the defaults.")
+
+let parse_retry = function
+  | None -> Ok None
+  | Some spec -> (
+    match S3_sim.Retry.of_string spec with Ok c -> Ok (Some c) | Error e -> Error e)
+
+let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?detector ?retry ?watchdog ?csv
     ?(incremental = true) ?(fingerprint = false) topo names tasks =
   let config =
     { Engine.foreground =
@@ -147,14 +176,17 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv
     }
   in
   let with_faults = not (Fault.is_empty faults) in
+  let with_detect = Option.is_some detector in
+  let with_retry = Option.is_some retry in
   let with_watchdog = Option.is_some watchdog in
   let runs =
     List.map
       (fun name ->
         let alg = Registry.make ~incremental name in
         if cloud then
-          Emulator.run ~sim_config:config ~faults ?watchdog ~incremental topo alg tasks
-        else Engine.run ~config ~faults ?watchdog ~incremental topo alg tasks)
+          Emulator.run ~sim_config:config ~faults ?detector ?retry ?watchdog ~incremental
+            topo alg tasks
+        else Engine.run ~config ~faults ?detector ?retry ?watchdog ~incremental topo alg tasks)
       names
   in
   let rows =
@@ -173,6 +205,18 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv
                string_of_int run.Metrics.tasks_lost
              ]
            else [])
+        @ (if with_detect then
+             [ string_of_int run.Metrics.suspicions;
+               string_of_int run.Metrics.false_suspicions;
+               string_of_int run.Metrics.detections
+             ]
+           else [])
+        @ (if with_retry then
+             [ string_of_int run.Metrics.retries_attempted;
+               string_of_int run.Metrics.retries_exhausted;
+               Table.fmt_float ~decimals:2 (run.Metrics.bytes_resumed /. 8000.)
+             ]
+           else [])
         @
         if with_watchdog then
           [ string_of_int run.Metrics.swaps_attempted;
@@ -184,10 +228,16 @@ let report ~cloud ~fg ~seed ?(faults = Fault.empty) ?watchdog ?csv
       runs
   in
   let fault_cols = if with_faults then [ "killed"; "rehomed"; "lost" ] else [] in
+  let detect_cols =
+    if with_detect then [ "suspected"; "false-susp"; "detected" ] else []
+  in
+  let retry_cols =
+    if with_retry then [ "retries"; "exhausted"; "resumed(GB)" ] else []
+  in
   let watchdog_cols =
     if with_watchdog then [ "attempts"; "swaps"; "rescued"; "shed" ] else []
   in
-  let extra_cols = fault_cols @ watchdog_cols in
+  let extra_cols = fault_cols @ detect_cols @ retry_cols @ watchdog_cols in
   print_endline
     (Table.render
        ~align:
@@ -246,20 +296,24 @@ let run_cmd =
          & info [ "deadline-jitter" ] ~doc:"Relative deadline-factor spread, [0,1).")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs tasks rate chunk (n, k)
-      factor jitter profile_spec fg seed cloud verbose faults_spec watchdog_spec codec csv
-      no_incremental fingerprint =
+      factor jitter profile_spec fg seed cloud verbose faults_spec detect_spec retry_spec
+      watchdog_spec codec csv no_incremental fingerprint =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
            parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec,
-           parse_codec codec, parse_profile profile_spec)
+           parse_codec codec, parse_profile profile_spec,
+           (parse_detect detect_spec, parse_retry retry_spec))
     with
-    | Error e, _, _, _, _, _
-    | _, Error e, _, _, _, _
-    | _, _, Error e, _, _, _
-    | _, _, _, Error e, _, _
-    | _, _, _, _, Error e, _
-    | _, _, _, _, _, Error e -> `Error (false, e)
-    | Ok topo, Ok names, Ok faults, Ok watchdog, Ok kernel, Ok profile ->
+    | Error e, _, _, _, _, _, _
+    | _, Error e, _, _, _, _, _
+    | _, _, Error e, _, _, _, _
+    | _, _, _, Error e, _, _, _
+    | _, _, _, _, Error e, _, _
+    | _, _, _, _, _, Error e, _
+    | _, _, _, _, _, _, (Error e, _)
+    | _, _, _, _, _, _, (_, Error e) -> `Error (false, e)
+    | Ok topo, Ok names, Ok faults, Ok watchdog, Ok kernel, Ok profile,
+      (Ok detector, Ok retry) ->
       S3_storage.Reed_solomon.set_default_kernel kernel;
       (try
          let workload, header =
@@ -290,15 +344,21 @@ let run_cmd =
            | Some s when fg <= 0. -> s.Profile.profile.Profile.fg_frac
            | _ -> fg
          in
-         Printf.printf "%s | %s%s%s%s\n\n" (Topology.name topo) header
+         Printf.printf "%s | %s%s%s%s%s%s\n\n" (Topology.name topo) header
            (if cloud then " | emulated cloud" else "")
            (if Fault.is_empty faults then ""
             else Printf.sprintf " | faults: %s" (Fault.to_string faults))
+           (match detector with
+            | None -> ""
+            | Some d -> Printf.sprintf " | detect: %s" (S3_fault.Detector.to_string d))
+           (match retry with
+            | None -> ""
+            | Some r -> Printf.sprintf " | retry: %s" (S3_sim.Retry.to_string r))
            (match watchdog with
             | None -> ""
             | Some w -> Printf.sprintf " | watchdog: %s" (S3_sim.Watchdog.to_string w));
-         report ~cloud ~fg ~seed ~faults ?watchdog ?csv ~incremental:(not no_incremental)
-           ~fingerprint topo names workload;
+         report ~cloud ~fg ~seed ~faults ?detector ?retry ?watchdog ?csv
+           ~incremental:(not no_incremental) ~fingerprint topo names workload;
          `Ok ()
        with Invalid_argument m -> `Error (false, m))
   in
@@ -307,8 +367,8 @@ let run_cmd =
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ tasks_arg $ rate_arg $ chunk_arg $ code_arg
              $ factor_arg $ jitter_arg $ profile_arg $ fg_arg $ seed_arg $ cloud_arg
-             $ verbose_arg $ faults_arg $ watchdog_arg $ codec_arg $ csv_arg
-             $ no_incremental_arg $ fingerprint_arg))
+             $ verbose_arg $ faults_arg $ detect_arg $ retry_arg $ watchdog_arg $ codec_arg
+             $ csv_arg $ no_incremental_arg $ fingerprint_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a synthetic background-task workload.") term
 
@@ -326,19 +386,21 @@ let trace_cmd =
     Arg.(value & opt float 10. & info [ "deadline-factor" ] ~doc:"Deadline = factor x LRT.")
   in
   let run topo_kind racks servers cst cta fat_k ports levels algs file machines tasks chunk
-      factor fg seed cloud verbose faults_spec watchdog_spec codec csv no_incremental
-      fingerprint =
+      factor fg seed cloud verbose faults_spec detect_spec retry_spec watchdog_spec codec
+      csv no_incremental fingerprint =
     setup_logs verbose;
     match (make_topology topo_kind racks servers cst cta fat_k ports levels,
            parse_algorithms algs, parse_faults faults_spec, parse_watchdog watchdog_spec,
-           parse_codec codec)
+           parse_codec codec, (parse_detect detect_spec, parse_retry retry_spec))
     with
-    | Error e, _, _, _, _
-    | _, Error e, _, _, _
-    | _, _, Error e, _, _
-    | _, _, _, Error e, _
-    | _, _, _, _, Error e -> `Error (false, e)
-    | Ok topo, Ok names, Ok faults, Ok watchdog, Ok kernel ->
+    | Error e, _, _, _, _, _
+    | _, Error e, _, _, _, _
+    | _, _, Error e, _, _, _
+    | _, _, _, Error e, _, _
+    | _, _, _, _, Error e, _
+    | _, _, _, _, _, (Error e, _)
+    | _, _, _, _, _, (_, Error e) -> `Error (false, e)
+    | Ok topo, Ok names, Ok faults, Ok watchdog, Ok kernel, (Ok detector, Ok retry) ->
       S3_storage.Reed_solomon.set_default_kernel kernel;
       (try
          let g = Prng.create seed in
@@ -355,8 +417,8 @@ let trace_cmd =
            Trace.to_tasks g topo records ~chunk_size_mb:chunk ~deadline_factor:factor
          in
          Printf.printf "%s | %d trace records\n\n" (Topology.name topo) (List.length records);
-         report ~cloud ~fg ~seed ~faults ?watchdog ?csv ~incremental:(not no_incremental)
-           ~fingerprint topo names workload;
+         report ~cloud ~fg ~seed ~faults ?detector ?retry ?watchdog ?csv
+           ~incremental:(not no_incremental) ~fingerprint topo names workload;
          `Ok ()
        with
        | Invalid_argument m -> `Error (false, m)
@@ -367,7 +429,8 @@ let trace_cmd =
             (const run $ topology_arg $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports
              $ bcube_levels $ algorithms_arg $ file_arg $ machines_arg $ tasks_arg $ chunk_arg
              $ factor_arg $ fg_arg $ seed_arg $ cloud_arg $ verbose_arg $ faults_arg
-             $ watchdog_arg $ codec_arg $ csv_arg $ no_incremental_arg $ fingerprint_arg))
+             $ detect_arg $ retry_arg $ watchdog_arg $ codec_arg $ csv_arg
+             $ no_incremental_arg $ fingerprint_arg))
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate a Google-style arrival trace.") term
 
@@ -403,6 +466,19 @@ let parse_code_axis s =
           | Some _, Some _ -> Error (Printf.sprintf "matrix codes: (%s) needs N >= K >= 1" item)
           | _ -> Error (Printf.sprintf "matrix codes: %S is not N,K" item))
         | _ -> Error (Printf.sprintf "matrix codes: %S is not N,K" item))
+      items
+
+let parse_detect_axis s =
+  match axis_items s with
+  | [] -> Error "matrix: empty detector axis"
+  | items ->
+    collect
+      (fun item ->
+        if String.lowercase_ascii item = "off" then Ok ("off", None)
+        else
+          match S3_fault.Detector.of_string item with
+          | Ok c -> Ok (item, Some c)
+          | Error e -> Error e)
       items
 
 let parse_topology_axis ~racks ~servers ~cst ~cta ~fat_k ~ports ~levels s =
@@ -456,20 +532,35 @@ let matrix_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the per-cell CSV to $(docv) ('-' for stdout).")
   in
+  let detect_axis_arg =
+    Arg.(value & opt string "off"
+         & info [ "detect" ] ~docv:"SPECS"
+             ~doc:"';'-separated failure-detector axis: each item 'off' (omniscient) \
+                   or a --detect spec such as 'latency=2'; every cell runs once per \
+                   item, on the same workload. Pair with --faults.")
+  in
   let run topo_racks topo_servers cst cta fat_k ports levels profiles codes topologies algs
-      tasks seed md csv verbose =
+      detect_axis faults_spec tasks seed md csv verbose =
     setup_logs verbose;
     match
       ( parse_profile_axis profiles,
         parse_code_axis codes,
         parse_topology_axis ~racks:topo_racks ~servers:topo_servers ~cst ~cta ~fat_k ~ports
           ~levels topologies,
-        parse_algorithms algs )
+        parse_algorithms algs,
+        parse_detect_axis detect_axis,
+        parse_faults faults_spec )
     with
-    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
-      `Error (false, e)
-    | Ok profiles, Ok codes, Ok topologies, Ok algorithms -> (
-      let axes = { Matrix.profiles; codes; topologies; algorithms; tasks; seed } in
+    | Error e, _, _, _, _, _
+    | _, Error e, _, _, _, _
+    | _, _, Error e, _, _, _
+    | _, _, _, Error e, _, _
+    | _, _, _, _, Error e, _
+    | _, _, _, _, _, Error e -> `Error (false, e)
+    | Ok profiles, Ok codes, Ok topologies, Ok algorithms, Ok detectors, Ok faults -> (
+      let axes =
+        { Matrix.profiles; codes; topologies; algorithms; detectors; faults; tasks; seed }
+      in
       try
         let cells = Matrix.run axes in
         let emit what path body =
@@ -489,8 +580,8 @@ let matrix_cmd =
   let term =
     Term.(ret
             (const run $ racks $ servers $ cst $ cta $ fat_k $ bcube_ports $ bcube_levels
-             $ profiles_arg $ codes_arg $ topologies_arg $ algorithms_arg $ tasks_arg
-             $ seed_arg $ md_arg $ csv_out_arg $ verbose_arg))
+             $ profiles_arg $ codes_arg $ topologies_arg $ algorithms_arg $ detect_axis_arg
+             $ faults_arg $ tasks_arg $ seed_arg $ md_arg $ csv_out_arg $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "matrix"

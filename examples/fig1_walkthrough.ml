@@ -32,7 +32,7 @@ let () =
   let view =
     { Problem.now = 0.;
       topo;
-      flows = [];
+      flows = lazy [];
       available = (fun e -> (S3_net.Topology.entity topo e).S3_net.Topology.capacity);
       load = None
     }

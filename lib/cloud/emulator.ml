@@ -48,13 +48,12 @@ let data_plane c =
   in
   { Engine.control_latency; shape_rate }
 
-let run ?(config = default_config) ?sim_config ?faults ?on_failure ?watchdog ?incremental
-    topo alg tasks
+let run ?(config = default_config) ?sim_config ?faults ?detector ?retry ?on_failure
+    ?watchdog ?incremental topo alg tasks
     =
   let dp = data_plane config in
   let run =
-    Engine.run ?config:sim_config ~data_plane:dp ?faults ?on_failure ?watchdog ?incremental
-      topo alg
-      tasks
+    Engine.run ?config:sim_config ~data_plane:dp ?faults ?detector ?retry ?on_failure
+      ?watchdog ?incremental topo alg tasks
   in
   { run with S3_sim.Metrics.algorithm = run.S3_sim.Metrics.algorithm }

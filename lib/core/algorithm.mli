@@ -15,14 +15,25 @@ type source_policy =
           the "select the closest chunk" heuristic of the paper's §3.1
           Policy 1 *)
 
-type reselect = Problem.view -> Problem.Task.t -> eligible:int array -> need:int -> int array
-(** [reselect view task ~eligible ~need] picks [need] distinct
-    replacement sources from [eligible] for a task whose original
-    sources died mid-run. [eligible] is the surviving candidate subset
-    of [task.sources]: never-crashed servers not already serving
-    another of the task's subtasks; the engine only calls the hook when
-    [Array.length eligible >= need]. The view describes the system with
-    the killed flows already removed. *)
+type reselect =
+  Problem.view ->
+  Problem.Task.t ->
+  eligible:int array ->
+  need:int ->
+  remaining:float array ->
+  int array
+(** [reselect view task ~eligible ~need ~remaining] picks [need]
+    distinct replacement sources from [eligible] for a task whose
+    original sources died (or stalled past their retry budget) mid-run.
+    [eligible] is the surviving candidate subset of [task.sources]:
+    never-crashed servers not already serving another of the task's
+    subtasks; the engine only calls the hook when
+    [Array.length eligible >= need]. [remaining] has one entry per
+    replacement slot: the megabits the new fetch must still move — the
+    full chunk volume under restart-from-zero, the unfetched remainder
+    under resume-enabled recovery, so congestion-aware policies can
+    score a resumed slot by its true residual demand. The view
+    describes the system with the killed flows already removed. *)
 
 type t = {
   name : string;

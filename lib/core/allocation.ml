@@ -85,7 +85,7 @@ let residual_after (v : Problem.view) rates e =
         match Hashtbl.find_opt rate_of f.Problem.flow_id with
         | Some r when Array.exists (Int.equal e) (Problem.route_arr v f) -> acc +. r
         | _ -> acc)
-      0. v.Problem.flows
+      0. (Lazy.force v.Problem.flows)
   in
   v.Problem.available e -. used
 

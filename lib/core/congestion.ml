@@ -37,7 +37,7 @@ let of_view (v : Problem.view) =
       (fun f ->
         let l = Rtf.flow_lrb v f in
         if Float.is_finite l then add_path t (Problem.route v f) l)
-      v.Problem.flows;
+      (Lazy.force v.Problem.flows);
     t
 
 let select_least_congested (v : Problem.view) (task : Task.t) =

@@ -2,7 +2,7 @@ let lpall ?(sources = Algorithm.Least_congested) ?backend ?(incremental = true)
     ?(basis_reuse = false) () =
   let lp_state = S3_lp.Lp.create_state () in
   let allocate (v : Problem.view) =
-    match v.Problem.flows with
+    match Lazy.force v.Problem.flows with
     | [] -> []
     | flows ->
       let demand f =

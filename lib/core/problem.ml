@@ -11,7 +11,7 @@ type flow = {
 type view = {
   now : float;
   topo : Topology.t;
-  flows : flow list;
+  flows : flow list Lazy.t;
   available : int -> float;
   load : (int -> float) option;
 }
@@ -42,7 +42,7 @@ let by_task v =
         order := (f.task, cell) :: !order;
         Hashtbl.replace tbl id cell
       | Some cell -> cell := f :: !cell)
-    v.flows;
+    (Lazy.force v.flows);
   List.rev_map (fun (t, cell) -> (t, List.rev !cell)) !order
 
 let deadline_slack v f = f.task.Task.deadline -. v.now

@@ -21,8 +21,16 @@ type flow = {
 type view = {
   now : float;
   topo : Topology.t;
-  flows : flow list;  (** incomplete flows of all active tasks,
-                          grouped by task in arrival order *)
+  flows : flow list Lazy.t;
+      (** incomplete flows of all active tasks, grouped by task in
+          arrival order. Lazy because the dominant consumer — Phase-I
+          source selection with an engine-maintained [load] index —
+          never looks at the flow list, and building it is O(all
+          flows) per view: allocate-time algorithms force it once,
+          per-spawn congestion probes never do. The thunk reads the
+          engine's live flow state, so a view is only valid until the
+          engine's next mutation — algorithms must force [flows] (or
+          not at all) before returning, never stash the view. *)
   available : int -> float;  (** entity id -> megabits/s currently
                                  available to background traffic (raw
                                  capacity minus foreground load) *)

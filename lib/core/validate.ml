@@ -26,8 +26,9 @@ let pp_violation ppf = function
   | Unknown_flow { flow_id } -> Format.fprintf ppf "rate for unknown flow %d" flow_id
 
 let check ?(tol = 1e-6) ?(floor = fun _ -> 0.) (v : Problem.view) rates =
+  let vflows = Lazy.force v.Problem.flows in
   let known = Hashtbl.create 32 in
-  List.iter (fun f -> Hashtbl.replace known f.Problem.flow_id f) v.Problem.flows;
+  List.iter (fun f -> Hashtbl.replace known f.Problem.flow_id f) vflows;
   let rate_of fid =
     List.fold_left (fun acc (id, r) -> if id = fid then acc +. r else acc) 0. rates
   in
@@ -45,7 +46,7 @@ let check ?(tol = 1e-6) ?(floor = fun _ -> 0.) (v : Problem.view) rates =
       let got = rate_of f.Problem.flow_id in
       if got < want -. tol then
         violations := Below_floor { flow_id = f.Problem.flow_id; rate = got; floor = want } :: !violations)
-    v.Problem.flows;
+    vflows;
   (* Per-entity capacity. *)
   let usage = Hashtbl.create 32 in
   List.iter
@@ -56,7 +57,7 @@ let check ?(tol = 1e-6) ?(floor = fun _ -> 0.) (v : Problem.view) rates =
           (fun e ->
             Hashtbl.replace usage e (Option.value ~default:0. (Hashtbl.find_opt usage e) +. r))
           (Problem.route v f))
-    v.Problem.flows;
+    vflows;
   Hashtbl.fold (fun entity allocated acc -> (entity, allocated) :: acc) usage []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.iter (fun (entity, allocated) ->

@@ -112,7 +112,21 @@ val advance : state -> float -> change list
     usual 1e-9 tolerance), in plan order, and return the normalized
     changes: crashing a dead server or recovering a live one is a
     no-op and reports nothing; a rack outage reports one [Crashed] per
-    server it actually killed. Time never goes backwards. *)
+    server it actually killed. Time never goes backwards.
+
+    Simultaneous events on the same server are resolved by {e plan
+    order} — the script order the events were handed to {!plan} in
+    (the sort is stable, so equal times never reorder). In particular,
+    for a same-instant crash / recover pair at time [T] on server [s]:
+    - [crash@T:s, recover@T:s] fires both: the changes are
+      [[Crashed s; Recovered s]], and afterwards [s] is alive but
+      {!ever_crashed} (it bounced, losing its chunks).
+    - [recover@T:s, crash@T:s] on a live server fires only the crash
+      (the recover is a no-op on a live server): the changes are
+      [[Crashed s]] and [s] is dead.
+
+    The two spellings are {e not} equivalent — plan order is the tie
+    break, and the determinism suite pins it. *)
 
 val dead : state -> int -> bool
 (** Is this server currently down? *)

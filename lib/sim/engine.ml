@@ -4,6 +4,7 @@ module Problem = S3_core.Problem
 module Algorithm = S3_core.Algorithm
 module Rtf = S3_core.Rtf
 module Fault = S3_fault.Fault
+module Detector = S3_fault.Detector
 
 let src = Logs.Src.create "s3.engine" ~doc:"S3 scheduling engine"
 
@@ -60,8 +61,8 @@ let volume_epsilon = 1e-6  (* megabits; ~0.1 byte *)
 let time_epsilon = 1e-9
 
 let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
-    ?(faults = Fault.empty) ?on_failure ?watchdog ?(incremental = true) topo
-    (alg : Algorithm.t) tasks =
+    ?(faults = Fault.empty) ?detector ?retry ?on_failure ?watchdog
+    ?(incremental = true) topo (alg : Algorithm.t) tasks =
   let pending = Array.of_list (List.sort Task.compare_arrival tasks) in
   let validate_task (t : Task.t) =
     let ok s = s >= 0 && s < Topology.servers topo in
@@ -71,6 +72,34 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   Array.iter validate_task pending;
   let fg = Foreground.create (S3_util.Prng.create config.seed) topo config.foreground in
   let fstate = Fault.start topo faults in
+  (* Control-plane failure knowledge. Without a detector the engine is
+     omniscient (settles crashes at the injection instant, the pre-
+     detection behaviour, bit-identical); with one, every reaction —
+     flow kills, re-homes, losses, repair injection, candidate
+     eligibility — keys off the detector's beliefs instead of the
+     physical fault state, while rates keep being clamped by the
+     physical multipliers (bytes keep flowing into a dead NIC at rate
+     zero until the detector notices). *)
+  let dstate = Option.map (fun c -> Detector.start topo c faults) detector in
+  (* Resume-enabled recovery preserves a killed fetch's partial bytes
+     in its replacement ([bytes_resumed]); off, replacements restart
+     the chunk and the partial bytes are [wasted] (the historical
+     accounting). *)
+  let resume = match retry with Some rc -> rc.Retry.resume | None -> false in
+  (* Is this destination believed unusable / this source believed
+     unselectable? The control-plane view: physical truth when
+     omniscient, detector beliefs otherwise (a merely suspected source
+     is avoided for new selections but its flows are not killed). *)
+  let dest_down s =
+    match dstate with
+    | None -> Fault.dead fstate s
+    | Some d -> Detector.believed_dead d s
+  in
+  let source_excluded s =
+    match dstate with
+    | None -> Fault.ever_crashed fstate s
+    | Some d -> Detector.known_crashed d s || Detector.suspected d s
+  in
   let nent = Array.length (Topology.entities topo) in
   (* Fault-adjusted capacity: what the foreground process leaves over,
      further scaled by dead-server / degraded-link multipliers. The
@@ -95,6 +124,9 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
   let swaps_attempted = ref 0 and swaps_successful = ref 0 in
   let tasks_rescued = ref 0 and tasks_shed_early = ref 0 in
   let shed_volume = ref 0. in
+  let suspicions = ref 0 and false_suspicions = ref 0 and detections = ref 0 in
+  let bytes_resumed = ref 0. in
+  let retries_attempted = ref 0 and retries_exhausted = ref 0 in
   (* Tasks the watchdog swapped at least once; counted as rescued only
      if they go on to complete by their deadline. *)
   let swapped_tasks = Hashtbl.create 16 in
@@ -185,19 +217,27 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       0. entries
   in
   let make_view () =
+    (* The flow list is the expensive part of a view — O(all live
+       flows) to build — and Phase-I source selection with the [load]
+       index below never reads it, so it stays a thunk: spawns that
+       only probe congestion cost nothing here, allocate-time
+       algorithms force it once before any further mutation (the
+       engine never hands a view across a state change). *)
+    let act = !active in
     let flows =
-      List.rev !active
-      |> List.concat_map (fun lt ->
-             if lt.resolved then []
-             else
-               List.map
-                 (fun f ->
-                   { Problem.flow_id = f.flow_id;
-                     task = lt.task;
-                     source = f.source;
-                     remaining = f.remaining
-                   })
-                 (live_flows lt))
+      lazy
+        (List.rev act
+        |> List.concat_map (fun lt ->
+               if lt.resolved then []
+               else
+                 List.map
+                   (fun f ->
+                     { Problem.flow_id = f.flow_id;
+                       task = lt.task;
+                       source = f.source;
+                       remaining = f.remaining
+                     })
+                   (live_flows lt)))
     in
     { Problem.now = !now;
       topo;
@@ -407,6 +447,24 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     index_remove f;
     incr flows_killed
   in
+  (* Kill a fetch that is about to be replaced (crash re-home, watchdog
+     swap, retry re-home): with resume the partial progress carries
+     into the replacement ([bytes_resumed]; the conservation law's
+     completed-volume side absorbs it because the replacement only
+     fetches the remainder), without it the progress is written off
+     exactly as [kill_flow] does. Callers snapshot [f.remaining] first
+     to seed the replacement, and bump their own event counters. *)
+  let kill_for_replacement lt f =
+    let progress = lt.task.Task.volume -. f.remaining in
+    if resume then bytes_resumed := !bytes_resumed +. progress
+    else wasted := !wasted +. progress;
+    set_flow_rate f 0.;
+    f.remaining <- 0.;
+    index_remove f
+  in
+  (* What a replacement fetch for this slot must still move, captured
+     before the kill zeroes the slot. *)
+  let replacement_remaining lt f = if resume then f.remaining else lt.task.Task.volume in
   (* The task can no longer finish: record the failure (with the
      remaining volume still intact, so the metric sees it), stop every
      in-flight fetch, and write off delivered chunks. *)
@@ -425,16 +483,20 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     incr tasks_lost
   in
   let spawn (t : Task.t) =
-    if Fault.dead fstate t.Task.destination then record_lost_at_arrival t
+    if dest_down t.Task.destination then record_lost_at_arrival t
     else begin
       (* Crashed-and-recovered servers came back empty: their chunks are
-         gone, so they are never candidates again. *)
+         gone, so they are never candidates again. Under a detector
+         this is the control plane's belief — confirmed-dead-at-some-
+         point or currently suspected servers are skipped; a dead but
+         undetected server is still selected (and the fetch stalls at
+         rate zero until the detector fires). *)
       let candidates =
-        if Fault.is_empty faults then t.Task.sources
+        if Fault.is_empty faults && Option.is_none dstate then t.Task.sources
         else
           Array.of_list
             (List.filter
-               (fun s -> not (Fault.ever_crashed fstate s))
+               (fun s -> not (source_excluded s))
                (Array.to_list t.Task.sources))
       in
       if Array.length candidates < t.Task.k then record_lost_at_arrival t
@@ -521,7 +583,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
               let eligible =
                 Array.to_list lt.task.Task.sources
                 |> List.filter (fun s ->
-                       (not (Fault.ever_crashed fstate s)) && not (List.mem s used))
+                       (not (source_excluded s)) && not (List.mem s used))
                 |> Array.of_list
               in
               match alg.Algorithm.reselect with
@@ -529,9 +591,17 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                 let slots = ref [] in
                 Array.iteri (fun i f -> if dead_src f then slots := i :: !slots) lt.lflows;
                 let slots = List.rev !slots in
-                List.iter (fun i -> kill_flow lt lt.lflows.(i)) slots;
+                let rem =
+                  Array.of_list
+                    (List.map (fun i -> replacement_remaining lt lt.lflows.(i)) slots)
+                in
+                List.iter
+                  (fun i ->
+                    kill_for_replacement lt lt.lflows.(i);
+                    incr flows_killed)
+                  slots;
                 let view = make_view () in
-                let repl = reselect view lt.task ~eligible ~need in
+                let repl = reselect view lt.task ~eligible ~need ~remaining:rem in
                 if Array.length repl <> need then
                   invalid lt.task.Task.id (-1)
                     (Printf.sprintf "%s reselected %d sources, need %d" alg.Algorithm.name
@@ -557,7 +627,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                         source;
                         route =
                           Topology.route_array topo ~src:source ~dst:lt.task.Task.destination;
-                        remaining = lt.task.Task.volume;
+                        remaining = rem.(j);
                         rate = 0.
                       };
                     index_add lt i lt.lflows.(i))
@@ -629,16 +699,12 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     lt.resolved <- true;
     incr tasks_shed_early
   in
-  (* A hedged swap abandons the straggling partial fetch (the
-     replacement restarts the chunk at full volume), so its delivered
-     bits become waste — same accounting as a fault kill, without the
-     fault counter. *)
-  let swap_kill lt f =
-    wasted := !wasted +. (lt.task.Task.volume -. f.remaining);
-    set_flow_rate f 0.;
-    f.remaining <- 0.;
-    index_remove f
-  in
+  (* A hedged swap abandons the straggling partial fetch. Without
+     resume the replacement restarts the chunk at full volume and the
+     delivered bits become waste — same accounting as a fault kill,
+     without the fault counter; with resume the replacement picks up
+     where the straggler stopped. *)
+  let swap_kill = kill_for_replacement in
   (* One supervision pass: project every in-flight subtask's finish
      from its assigned rate; swap stragglers onto unused spare sources
      (budgeted, backed off) and shed provably infeasible tasks. Returns
@@ -695,7 +761,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
             let eligible =
               Array.to_list t.Task.sources
               |> List.filter (fun s ->
-                     (not (Fault.ever_crashed fstate s)) && not (List.mem s used))
+                     (not (source_excluded s)) && not (List.mem s used))
               |> Array.of_list
             in
             (* Deliverable megabits through an entity before the
@@ -769,11 +835,20 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                 let view = make_view () in
                 (* Only hedge onto sources that could still make the
                    deadline at current available bandwidth — swapping
-                   onto an equally hopeless path would just burn budget. *)
+                   onto an equally hopeless path would just burn budget.
+                   Under resume a spare only has to carry the worst
+                   straggler's remainder, not a whole chunk. *)
+                let hedge_rem =
+                  if resume then
+                    List.fold_left
+                      (fun acc i -> Float.max acc lt.lflows.(i).remaining)
+                      0. stragglers
+                  else t.Task.volume
+                in
                 let eligible =
                   Array.to_list eligible
                   |> List.filter (fun s ->
-                         Rtf.path_feasible view t ~src:s ~remaining:t.Task.volume)
+                         Rtf.path_feasible view t ~src:s ~remaining:hedge_rem)
                   |> Array.of_list
                 in
                 let n = min want (Array.length eligible) in
@@ -804,6 +879,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                     |> List.filteri (fun j _ -> j < n)
                     |> List.map (fun (_, _, i) -> i)
                   in
+                  let rem =
+                    Array.of_list
+                      (List.map (fun i -> replacement_remaining lt lt.lflows.(i)) slots)
+                  in
                   List.iter
                     (fun i ->
                       let f = lt.lflows.(i) in
@@ -811,7 +890,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                       swap_kill lt f)
                     slots;
                   let view = make_view () in
-                  let repl = reselect view t ~eligible ~need:n in
+                  let repl = reselect view t ~eligible ~need:n ~remaining:rem in
                   if Array.length repl <> n then
                     invalid t.Task.id (-1)
                       (Printf.sprintf "%s reselected %d sources, need %d (watchdog swap)"
@@ -838,7 +917,7 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
                         { flow_id;
                           source;
                           route = Topology.route_array topo ~src:source ~dst:t.Task.destination;
-                          remaining = t.Task.volume;
+                          remaining = rem.(j);
                           rate = 0.
                         };
                       index_add lt i lt.lflows.(i))
@@ -876,6 +955,137 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       in
       go 10_000
   in
+  (* ---- transfer retry policy (see Retry and DESIGN.md §16) ----
+     Per-flow stall timers, keyed by flow id. A flow is stalled when it
+     has volume left, holds no rate, and its route crosses a degraded
+     entity — the transient-outage signature (crashes are the
+     detector's business). Timers are refreshed after every replan and
+     fire through the event loop like any other event source. *)
+  let rstates : (int, Retry.fstate) Hashtbl.t = Hashtbl.create 16 in
+  let flow_stalled f =
+    f.remaining > 0. && f.rate <= 0.
+    && Array.exists (fun e -> Fault.degraded fstate e) f.route
+  in
+  let update_retry_clocks () =
+    match retry with
+    | None -> ()
+    | Some _ ->
+      List.iter
+        (fun lt ->
+          if (not lt.resolved) && not lt.failed then
+            Array.iter
+              (fun f ->
+                if f.remaining > 0. then
+                  match Hashtbl.find_opt rstates f.flow_id with
+                  | Some st ->
+                    if flow_stalled f then Retry.mark_stalled st ~now:!now
+                    else Retry.clear st
+                  | None ->
+                    if flow_stalled f then begin
+                      let st = Retry.fresh () in
+                      Retry.mark_stalled st ~now:!now;
+                      Hashtbl.replace rstates f.flow_id st
+                    end)
+              lt.lflows)
+        !active
+  in
+  let next_retry_time () =
+    match retry with
+    | None -> infinity
+    | Some rc ->
+      List.fold_left
+        (fun acc lt ->
+          if lt.resolved || lt.failed then acc
+          else
+            Array.fold_left
+              (fun acc f ->
+                if f.remaining > 0. then
+                  match Hashtbl.find_opt rstates f.flow_id with
+                  | Some st -> Float.min acc (Retry.next_deadline rc st)
+                  | None -> acc
+                else acc)
+              acc lt.lflows)
+        infinity !active
+  in
+  (* Fire every retry timer due now. A retry within budget re-issues
+     the fetch against the same source — physically a no-op in the
+     fluid model, but it restarts the timer with a backed-off gap. An
+     exhausted timer re-homes the flow onto a different eligible source
+     (or gives up and stops timing when none exists / the algorithm has
+     no reselect hook). Returns the number of events fired. *)
+  let retry_pass () =
+    match retry with
+    | None -> 0
+    | Some rc ->
+      let fired = ref 0 in
+      List.iter
+        (fun lt ->
+          if (not lt.resolved) && not lt.failed then
+            Array.iteri
+              (fun i f ->
+                if f.remaining > 0. then
+                  match Hashtbl.find_opt rstates f.flow_id with
+                  | Some st when Retry.next_deadline rc st <= !now +. time_epsilon ->
+                    incr fired;
+                    if not (Retry.exhausted rc st) then begin
+                      Retry.note_retry st ~now:!now;
+                      incr retries_attempted;
+                      Log.debug (fun m ->
+                          m "t=%.3f task#%d retrying stalled fetch from server %d (%d/%d)"
+                            !now lt.task.Task.id f.source st.Retry.attempts rc.Retry.retries)
+                    end
+                    else begin
+                      incr retries_exhausted;
+                      let used = Array.fold_left (fun acc g -> g.source :: acc) [] lt.lflows in
+                      let eligible =
+                        Array.to_list lt.task.Task.sources
+                        |> List.filter (fun s ->
+                               (not (source_excluded s)) && not (List.mem s used))
+                        |> Array.of_list
+                      in
+                      match alg.Algorithm.reselect with
+                      | Some reselect when Array.length eligible >= 1 ->
+                        let rem = replacement_remaining lt f in
+                        kill_for_replacement lt f;
+                        let view = make_view () in
+                        let repl =
+                          reselect view lt.task ~eligible ~need:1 ~remaining:[| rem |]
+                        in
+                        if Array.length repl <> 1 then
+                          invalid lt.task.Task.id (-1)
+                            (Printf.sprintf "%s reselected %d sources, need 1 (retry)"
+                               alg.Algorithm.name (Array.length repl));
+                        if not (Array.exists (fun c -> c = repl.(0)) eligible) then
+                          invalid lt.task.Task.id repl.(0)
+                            (alg.Algorithm.name ^ " reselected an ineligible source (retry)");
+                        let source = repl.(0) in
+                        let flow_id = !next_flow_id in
+                        incr next_flow_id;
+                        lt.lflows.(i) <-
+                          { flow_id;
+                            source;
+                            route =
+                              Topology.route_array topo ~src:source
+                                ~dst:lt.task.Task.destination;
+                            remaining = rem;
+                            rate = 0.
+                          };
+                        index_add lt i lt.lflows.(i);
+                        incr tasks_rehomed;
+                        Log.debug (fun m ->
+                            m "t=%.3f task#%d retry budget exhausted, re-homed onto server %d"
+                              !now lt.task.Task.id source)
+                      | _ ->
+                        (* Nowhere to go: keep the stalled fetch (the
+                           degradation may still expire in time) but
+                           stop timing it. *)
+                        Retry.give_up st
+                    end
+                  | _ -> ())
+              lt.lflows)
+        (List.rev !active);
+      !fired
+  in
   let moved_total = ref 0. in
   (* Transfer over [now, now+dt), minus any initial frozen span. *)
   let advance_volumes dt =
@@ -907,6 +1117,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
       match !injected with [] -> t_arr | t :: _ -> min t_arr t.Task.arrival
     in
     let t_fg = min (Foreground.next_change fg) (Fault.next_change fstate) in
+    let t_fg =
+      match dstate with None -> t_fg | Some d -> min t_fg (Detector.next_change d)
+    in
+    let t_fg = min t_fg (next_retry_time ()) in
     let t_dl, t_cmp =
       List.fold_left
         (fun (dl, cmp) lt ->
@@ -936,9 +1150,15 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     unresolved ()
     || !next_pending < Array.length pending
     || !injected <> []
-    || (Option.is_some on_failure && not (Fault.exhausted fstate))
+    || Option.is_some on_failure
+       && (not (Fault.exhausted fstate)
+          ||
+          (* With a detector the repair hook answers confirmations, which
+             trail the physical crashes by the detection latency. *)
+          match dstate with Some d -> not (Detector.exhausted d) | None -> false)
   in
   replan ();
+  update_retry_clocks ();
   while work_remains () do
     let t_next = next_event_time () in
     if not (Float.is_finite t_next) then
@@ -1008,7 +1228,11 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
         end)
       !active;
     (* Faults due now: normalize the whole batch, then kill / re-home /
-       lose, then let the repair hook answer each crash. *)
+       lose, then let the repair hook answer each crash. With a
+       detector the physical changes only move capacity multipliers
+       (dirty-marking the entities); the control-plane reaction — kills,
+       re-homes, losses, repair injection — waits for the confirmation
+       events below. *)
     (match Fault.advance fstate !now with
      | [] -> ()
      | changes ->
@@ -1023,12 +1247,48 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
        let newly_crashed =
          List.filter_map (function Fault.Crashed s -> Some s | _ -> None) changes
        in
-       if newly_crashed <> [] then begin
+       if newly_crashed <> [] && Option.is_none dstate then begin
          handle_crashes newly_crashed;
          match on_failure with
          | None -> ()
          | Some hook -> List.iter (fun s -> inject (hook ~now:!now ~server:s)) newly_crashed
        end);
+    (* Detection events due now: update beliefs and counters, then
+       settle the servers confirmed dead at this instant exactly as the
+       omniscient path settles physical crash batches. *)
+    (match dstate with
+     | None -> ()
+     | Some ds -> (
+       match Detector.advance ds !now with
+       | [] -> ()
+       | devents ->
+         incr processed;
+         List.iter
+           (function
+             | Detector.Suspected s ->
+               incr suspicions;
+               Log.debug (fun m -> m "t=%.3f detector suspects server %d" !now s)
+             | Detector.Cleared s ->
+               incr false_suspicions;
+               Log.debug (fun m -> m "t=%.3f suspicion of server %d cleared" !now s)
+             | Detector.Confirmed s ->
+               incr detections;
+               Log.debug (fun m -> m "t=%.3f server %d confirmed dead" !now s)
+             | Detector.Seen_alive s ->
+               Log.debug (fun m -> m "t=%.3f server %d seen alive again" !now s))
+           devents;
+         let confirmed =
+           List.filter_map
+             (function Detector.Confirmed s -> Some s | _ -> None)
+             devents
+         in
+         if confirmed <> [] then begin
+           handle_crashes confirmed;
+           match on_failure with
+           | None -> ()
+           | Some hook -> List.iter (fun s -> inject (hook ~now:!now ~server:s)) confirmed
+         end));
+    processed := !processed + retry_pass ();
     (* Arrivals: gather the batch due now and present it in static-slack
        order — the batch analogue of Phase II's urgency ranking, so a
        congestion-aware Phase I sees the most constrained task's flows
@@ -1068,7 +1328,10 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     end
     else stalls := 0;
     incr events;
-    replan ()
+    replan ();
+    (* Rates just moved: start/refresh/clear stall timers against the
+       new allocation so the next event horizon sees them. *)
+    update_retry_clocks ()
   done;
   let horizon = max !now 1e-9 in
   let util_sum = ref 0. in
@@ -1103,5 +1366,11 @@ let run ?(config = default_config) ?(data_plane = ideal_data_plane) ?on_event
     swaps_successful = !swaps_successful;
     tasks_rescued = !tasks_rescued;
     tasks_shed_early = !tasks_shed_early;
-    shed_volume = !shed_volume
+    shed_volume = !shed_volume;
+    suspicions = !suspicions;
+    false_suspicions = !false_suspicions;
+    detections = !detections;
+    bytes_resumed = !bytes_resumed;
+    retries_attempted = !retries_attempted;
+    retries_exhausted = !retries_exhausted
   }

@@ -34,7 +34,21 @@
     backed off per task), and sheds tasks that are provably infeasible
     on every remaining source set. Without [?watchdog] none of this
     code runs and the engine is byte-identical to its pre-watchdog
-    behavior — the tests pin this with fingerprints. *)
+    behavior — the tests pin this with fingerprints.
+
+    A {!S3_fault.Detector.config} removes the engine's omniscience
+    about failures: physical crashes only zero out capacity, and every
+    control-plane reaction (flow kills, re-homes, losses, repair
+    injection, candidate eligibility) waits for the detector's
+    confirmation events — so killed flows keep "transferring" into a
+    dead NIC at rate zero until detection, exactly the window the
+    suspicion latency models. A {!Retry.config} adds per-flow stall
+    timers for transient link degradations (same-source retries with
+    exponential backoff, then a re-home) and its [resume] switch makes
+    {e every} replacement fetch resume from partial progress instead of
+    restarting. Without [?detector] and [?retry] none of these paths
+    run and the engine is byte-identical to its pre-detection
+    behavior. *)
 
 type config = {
   foreground : Foreground.config;
@@ -69,6 +83,8 @@ val run :
   ?data_plane:data_plane ->
   ?on_event:(float -> S3_core.Problem.view -> S3_core.Allocation.rates -> unit) ->
   ?faults:S3_fault.Fault.t ->
+  ?detector:S3_fault.Detector.config ->
+  ?retry:Retry.config ->
   ?on_failure:(now:float -> server:int -> Metrics.Task.t list) ->
   ?watchdog:Watchdog.config ->
   ?incremental:bool ->
@@ -112,4 +128,27 @@ val run :
     a task no remaining source set can finish in time is shed early,
     its delivered volume recorded in [Metrics.run.shed_volume]. The
     supervision pass is a pure function of run state, so watchdog runs
-    replay byte-identically too. *)
+    replay byte-identically too.
+
+    [detector] (default off: omniscient) compiles the fault plan into a
+    deterministic detection schedule ({!S3_fault.Detector.schedule})
+    and replays the engine's failure reactions at confirmation time.
+    Suspected-but-unconfirmed servers are avoided by fresh selections
+    and re-homes but their flows are not killed; a crash–recover blip
+    shorter than the suspicion window goes entirely unnoticed (the
+    transfer session survives, and "recovered servers come back empty"
+    applies only to confirmed deaths). [on_failure] fires per
+    {e confirmation}, trailing the physical crash by the detection
+    latency. A zero-latency detector replays the omniscient engine's
+    decisions exactly (only the detection counters differ).
+
+    [retry] (default off) arms a stall timer on every flow that holds
+    volume, no rate, and a route through a degraded entity: [retries]
+    same-source retries with exponentially backed-off timeouts, then a
+    re-home through [reselect] onto an eligible spare ([give up] when
+    none exists). Its [resume] field (default [true]) switches {e all}
+    replacement fetches — crash re-homes, watchdog swaps, retry
+    re-homes — from restart-at-full-volume to resume-from-partial-
+    progress, moving those bytes from [Metrics.run.wasted] to
+    [Metrics.run.bytes_resumed] and keeping the conservation law
+    [transferred = completed + wasted + shed_volume] exact. *)

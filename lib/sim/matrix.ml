@@ -15,6 +15,8 @@ type axes = {
   codes : (int * int) list;
   topologies : (string * (unit -> Topology.t)) list;
   algorithms : string list;
+  detectors : (string * S3_fault.Detector.config option) list;
+  faults : S3_fault.Fault.t;
   tasks : int;
   seed : int;
 }
@@ -24,19 +26,27 @@ type cell = {
   code : int * int;
   topology : string;
   algorithm : string;
+  detector : string * S3_fault.Detector.config option;
   cell_seed : int;
   run : Metrics.run;
 }
 
+(* The detector axis stays invisible in both artifacts unless a cell
+   actually carries a config, so the default [("off", None)] axis
+   reproduces the pre-detector report bytes (the cram golden pins
+   them). *)
+let detector_shown c = not (String.equal (fst c.detector) "off")
+
 let cell_count axes =
   List.length axes.profiles * List.length axes.codes * List.length axes.topologies
-  * List.length axes.algorithms
+  * List.length axes.algorithms * List.length axes.detectors
 
 let validate axes =
   if axes.profiles = [] then invalid_arg "Matrix: empty profile axis";
   if axes.codes = [] then invalid_arg "Matrix: empty code axis";
   if axes.topologies = [] then invalid_arg "Matrix: empty topology axis";
   if axes.algorithms = [] then invalid_arg "Matrix: empty algorithm axis";
+  if axes.detectors = [] then invalid_arg "Matrix: empty detector axis";
   if axes.tasks < 0 then invalid_arg "Matrix: tasks must be >= 0";
   List.iter
     (fun (n, k) ->
@@ -46,11 +56,11 @@ let validate axes =
   List.iter (fun name -> ignore (Registry.make name)) axes.algorithms
 
 (* The workload seed of a cell depends on its profile/code/topology
-   coordinates but NOT on its algorithm, so every algorithm in a group
-   schedules the identical task stream — the comparison the ranking
-   table relies on. The multipliers only need to keep distinct
-   coordinate triples on distinct seeds for axis lengths that fit in a
-   report. *)
+   coordinates but NOT on its algorithm or detector, so every algorithm
+   (and every detection latency) in a group schedules the identical
+   task stream — the comparison the ranking table relies on. The
+   multipliers only need to keep distinct coordinate triples on
+   distinct seeds for axis lengths that fit in a report. *)
 let workload_seed axes ~pi ~ci ~ti =
   axes.seed + (pi * 1_000_003) + (ci * 10_007) + (ti * 101)
 
@@ -60,22 +70,27 @@ let run ?domains axes =
   let codes = Array.of_list axes.codes in
   let topologies = Array.of_list axes.topologies in
   let algorithms = Array.of_list axes.algorithms in
+  let detectors = Array.of_list axes.detectors in
   let nc = Array.length codes in
   let nt = Array.length topologies in
   let na = Array.length algorithms in
+  let nd = Array.length detectors in
   let total = cell_count axes in
   let cells =
     Sweep.map ?domains total (fun idx ->
-        (* Enumeration order: profile, code, topology, algorithm —
-           algorithm fastest-varying. *)
+        (* Enumeration order: profile, detector, code, topology,
+           algorithm — algorithm fastest-varying, so groups stay
+           contiguous runs of [na] cells. *)
         let ai = idx mod na in
         let ti = idx / na mod nt in
         let ci = idx / (na * nt) mod nc in
-        let pi = idx / (na * nt * nc) in
+        let di = idx / (na * nt * nc) mod nd in
+        let pi = idx / (na * nt * nc * nd) in
         let spec = profiles.(pi) in
         let code = codes.(ci) in
         let topo_name, build = topologies.(ti) in
         let algorithm = algorithms.(ai) in
+        let detector = detectors.(di) in
         let cell_seed = workload_seed axes ~pi ~ci ~ti in
         let topo = build () in
         let tasks =
@@ -88,8 +103,11 @@ let run ?domains axes =
             seed = cell_seed + 1
           }
         in
-        let run = Engine.run ~config topo (Registry.make algorithm) tasks in
-        { spec; code; topology = topo_name; algorithm; cell_seed; run })
+        let run =
+          Engine.run ~config ~faults:axes.faults ?detector:(snd detector) topo
+            (Registry.make algorithm) tasks
+        in
+        { spec; code; topology = topo_name; algorithm; detector; cell_seed; run })
   in
   Array.to_list cells
 
@@ -109,23 +127,32 @@ let wasted_gb c = c.run.Metrics.wasted /. 8000.
 
 let cell_label c =
   let n, k = c.code in
-  Printf.sprintf "%s x%s/(%d,%d)/%s/%s" c.spec.Profile.profile.Profile.name
+  Printf.sprintf "%s x%s/(%d,%d)/%s/%s%s" c.spec.Profile.profile.Profile.name
     (Printf.sprintf "%g" c.spec.Profile.scale)
     n k c.topology c.algorithm
+    (if detector_shown c then "/" ^ fst c.detector else "")
 
 (* ---- CSV artifact ---- *)
 
 let csv cells =
+  let with_det = List.exists detector_shown cells in
+  (* Detector labels are spec strings ('suspect=1,confirm=2'); keep the
+     row well-formed by mapping their commas to spaces. *)
+  let det_field c = String.map (fun ch -> if ch = ',' then ' ' else ch) (fst c.detector) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "profile,scale,n,k,topology,algorithm,seed,tasks,completed,hit_rate,remaining_gb,throughput_mbps,wasted_gb,utilization,horizon_s,fingerprint\n";
+    (Printf.sprintf
+       "profile,scale,n,k,topology,algorithm,%sseed,tasks,completed,hit_rate,remaining_gb,throughput_mbps,wasted_gb,utilization,horizon_s,fingerprint\n"
+       (if with_det then "detector," else ""));
   List.iter
     (fun c ->
       let n, k = c.code in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%g,%d,%d,%s,%s,%d,%d,%d,%.4f,%.4f,%.2f,%.4f,%.6f,%.3f,%s\n"
+        (Printf.sprintf "%s,%g,%d,%d,%s,%s,%s%d,%d,%d,%.4f,%.4f,%.2f,%.4f,%.6f,%.3f,%s\n"
            c.spec.Profile.profile.Profile.name c.spec.Profile.scale n k c.topology
-           c.algorithm c.cell_seed (total_tasks c)
+           c.algorithm
+           (if with_det then det_field c ^ "," else "")
+           c.cell_seed (total_tasks c)
            (Metrics.completed c.run)
            (hit_rate c) (Metrics.remaining_volume_gb c.run) (throughput c) (wasted_gb c)
            c.run.Metrics.utilization c.run.Metrics.horizon
@@ -210,13 +237,16 @@ let pct x = Printf.sprintf "%.1f%%" (100. *. x)
 let markdown axes cells =
   let buf = Buffer.create 4096 in
   let na = List.length axes.algorithms in
+  let with_det = List.exists detector_shown cells in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "# Scenario matrix report\n\n";
   add
-    "%d cells: %d profiles x %d erasure codes x %d topologies x %d algorithms, %d \
+    "%d cells: %d profiles x %d erasure codes x %d topologies x %d algorithms%s, %d \
      tasks per cell, base seed %d.\n\n"
     (List.length cells) (List.length axes.profiles) (List.length axes.codes)
-    (List.length axes.topologies) na axes.tasks axes.seed;
+    (List.length axes.topologies) na
+    (if with_det then Printf.sprintf " x %d detectors" (List.length axes.detectors) else "")
+    axes.tasks axes.seed;
   add "## Dimensions\n\n";
   add "| dimension | values |\n|---|---|\n";
   add "| profile | %s |\n"
@@ -229,6 +259,10 @@ let markdown axes cells =
   add "| erasure code | %s |\n"
     (String.concat "; " (List.map (fun (n, k) -> Printf.sprintf "(%d,%d)" n k) axes.codes));
   add "| topology | %s |\n" (String.concat "; " (List.map fst axes.topologies));
+  if not (S3_fault.Fault.is_empty axes.faults) then
+    add "| faults | %s |\n" (S3_fault.Fault.to_string axes.faults);
+  if with_det then
+    add "| detector | %s |\n" (String.concat "; " (List.map fst axes.detectors));
   add "| algorithm | %s |\n\n" (String.concat "; " axes.algorithms);
   add "## Algorithm ranking\n\n";
   add
@@ -259,15 +293,18 @@ let markdown axes cells =
           add "### profile %s (x%g)\n\n" pname first.spec.Profile.scale;
           add "%s\n\n" first.spec.Profile.profile.Profile.summary;
           add
-            "| code | topology | algorithm | deadline-hit | remaining (GB) | \
-             throughput (Mb/s) | wasted (GB) | utilization |\n";
-          add "|---|---|---|---|---|---|---|---|\n"
+            "| code | topology | %salgorithm | deadline-hit | remaining (GB) | \
+             throughput (Mb/s) | wasted (GB) | utilization |\n"
+            (if with_det then "detector | " else "");
+          add "|---|---|---|---|---|---|---|---|%s\n" (if with_det then "---|" else "")
         end;
         List.iter
           (fun c ->
             let n, k = c.code in
-            add "| (%d,%d) | %s | %s | %d/%d (%s) | %.2f | %.1f | %.2f | %s |\n" n k
-              c.topology c.algorithm
+            add "| (%d,%d) | %s | %s%s | %d/%d (%s) | %.2f | %.1f | %.2f | %s |\n" n k
+              c.topology
+              (if with_det then fst c.detector ^ " | " else "")
+              c.algorithm
               (Metrics.completed c.run)
               (total_tasks c)
               (pct (hit_rate c))

@@ -27,6 +27,17 @@ type axes = {
       (** label plus a builder; built fresh inside each sweep job
           (topology route caches are not domain-safe to share) *)
   algorithms : string list;  (** {!S3_core.Registry} names *)
+  detectors : (string * S3_fault.Detector.config option) list;
+      (** failure-detection axis: label plus an optional
+          {!S3_fault.Detector.config} ([None] = omniscient settle).
+          The default axis is [[("off", None)]], which is {e byte-
+          invisible}: neither artifact mentions detectors and both come
+          out identical to the pre-detector renderings. Cell workload
+          seeds exclude this axis, so every detection latency schedules
+          the identical task stream. Only meaningful with [faults]. *)
+  faults : S3_fault.Fault.t;
+      (** one fault plan applied to every cell ({!S3_fault.Fault.empty}
+          for none — also byte-invisible) *)
   tasks : int;  (** per-cell task count for specs without their own *)
   seed : int;  (** base seed the per-cell seeds derive from *)
 }
@@ -36,12 +47,13 @@ type cell = {
   code : int * int;
   topology : string;
   algorithm : string;
+  detector : string * S3_fault.Detector.config option;
   cell_seed : int;  (** the derived workload seed, recorded for replay *)
   run : Metrics.run;
 }
 
 val cell_count : axes -> int
-(** Product of the four axis lengths. *)
+(** Product of the five axis lengths. *)
 
 val run : ?domains:int -> axes -> cell list
 (** Execute every cell over {!S3_par.Sweep.map} and return them in
@@ -55,7 +67,10 @@ val csv : cell list -> string
     hit_rate,remaining_gb,throughput_mbps,wasted_gb,utilization,
     horizon_s,fingerprint]. Header included; fixed-notation floats;
     timing fields (plan time) deliberately excluded so the artifact is
-    reproducible byte-for-byte. *)
+    reproducible byte-for-byte. When any cell carries a real detector
+    config, a [detector] column appears after [algorithm] (commas in
+    the label mapped to spaces); with the default axis the bytes are
+    unchanged. *)
 
 val markdown : axes -> cell list -> string
 (** The summary report: dimension inventory, algorithms ranked by

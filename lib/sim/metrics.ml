@@ -28,6 +28,12 @@ type run = {
   tasks_rescued : int;
   tasks_shed_early : int;
   shed_volume : float;
+  suspicions : int;
+  false_suspicions : int;
+  detections : int;
+  bytes_resumed : float;
+  retries_attempted : int;
+  retries_exhausted : int;
 }
 
 let completed r = List.length (List.filter (fun o -> o.completed) r.outcomes)

@@ -38,9 +38,10 @@ type run = {
       (** flows stopped because a fault removed their source or
           destination (replacement fetches spawn fresh flows) *)
   tasks_rehomed : int;
-      (** fault-surviving tasks whose dead sources were replaced via
-          the algorithm's [reselect] hook (counted once per re-homing
-          event, so a twice-struck task counts twice) *)
+      (** fault-surviving tasks whose dead (or retry-exhausted, see
+          {!Retry}) sources were replaced via the algorithm's
+          [reselect] hook (counted once per re-homing event, so a
+          twice-struck task counts twice) *)
   tasks_lost : int;
       (** tasks made unrecoverable by faults: destination died, fewer
           surviving candidate sources than [k], or the algorithm has no
@@ -64,6 +65,29 @@ type run = {
           conservation law becomes [transferred = completed volume +
           wasted + shed_volume]; without it [shed_volume] is 0 and the
           law reduces to the original one. *)
+  suspicions : int;
+      (** suspicion events the failure detector raised (real crash
+          suspicions and false positives alike); 0 without
+          [?detector] *)
+  false_suspicions : int;
+      (** suspicions that cleared without a confirmation — recoveries
+          inside the confirmation window plus seeded false positives *)
+  detections : int;
+      (** confirmed-dead events — the moments the engine actually
+          settled a crash. With zero detection latency this equals the
+          number of crashed servers the engine reacted to *)
+  bytes_resumed : float;
+      (** megabits of partial progress preserved by resume-enabled
+          replacement fetches (crash re-homes, watchdog swaps, retry
+          re-homes) — bytes that would have been [wasted] under
+          restart-from-zero. Counted once, when the replacement is
+          installed. 0 without a resume-enabled [?retry] *)
+  retries_attempted : int;
+      (** same-source retries fired on stalled flows; 0 without
+          [?retry] *)
+  retries_exhausted : int;
+      (** stalled flows whose retry budget ran out, triggering a
+          re-home attempt *)
 }
 
 val completed : run -> int

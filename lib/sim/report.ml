@@ -21,11 +21,12 @@ let comparison_table runs =
 let csv_of_runs runs =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    "algorithm,completed,total,remaining_gb,utilization,horizon_s,plan_ms,events,flows_killed,tasks_rehomed,tasks_lost,swaps_attempted,swaps_successful,tasks_rescued,tasks_shed_early,shed_gb\n";
+    "algorithm,completed,total,remaining_gb,utilization,horizon_s,plan_ms,events,flows_killed,tasks_rehomed,tasks_lost,swaps_attempted,swaps_successful,tasks_rescued,tasks_shed_early,shed_gb,suspicions,false_suspicions,detections,retries_attempted,retries_exhausted,resumed_gb\n";
   List.iter
     (fun (r : Metrics.run) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%.4f,%.6f,%.3f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%.4f\n"
+        (Printf.sprintf
+           "%s,%d,%d,%.4f,%.6f,%.3f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%.4f\n"
            r.Metrics.algorithm
            (Metrics.completed r)
            (List.length r.Metrics.outcomes)
@@ -34,7 +35,10 @@ let csv_of_runs runs =
            r.Metrics.events r.Metrics.flows_killed r.Metrics.tasks_rehomed r.Metrics.tasks_lost
            r.Metrics.swaps_attempted r.Metrics.swaps_successful r.Metrics.tasks_rescued
            r.Metrics.tasks_shed_early
-           (r.Metrics.shed_volume /. 8000.)))
+           (r.Metrics.shed_volume /. 8000.)
+           r.Metrics.suspicions r.Metrics.false_suspicions r.Metrics.detections
+           r.Metrics.retries_attempted r.Metrics.retries_exhausted
+           (r.Metrics.bytes_resumed /. 8000.)))
     runs;
   Buffer.contents buf
 
@@ -107,6 +111,28 @@ let fingerprint (r : Metrics.run) =
     it r.Metrics.tasks_rescued;
     it r.Metrics.tasks_shed_early;
     fl r.Metrics.shed_volume
+  end;
+  (* Same gating discipline for the failure-detector and retry/resume
+     fields (this PR): they join the digest only when the subsystem
+     acted, so every detection-off / retry-off run keeps its historical
+     digest. detections > 0 implies suspicions > 0, and bytes_resumed
+     > 0 only ever happens alongside a counted retry/re-home, but the
+     float joins the gate anyway for belt-and-braces completeness. *)
+  if r.Metrics.suspicions + r.Metrics.false_suspicions + r.Metrics.detections > 0
+  then begin
+    Buffer.add_string buf "det;";
+    it r.Metrics.suspicions;
+    it r.Metrics.false_suspicions;
+    it r.Metrics.detections
+  end;
+  if
+    r.Metrics.retries_attempted + r.Metrics.retries_exhausted > 0
+    || r.Metrics.bytes_resumed > 0.
+  then begin
+    Buffer.add_string buf "rt;";
+    it r.Metrics.retries_attempted;
+    it r.Metrics.retries_exhausted;
+    fl r.Metrics.bytes_resumed
   end;
   List.iter
     (fun (o : Metrics.outcome) ->

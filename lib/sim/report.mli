@@ -12,7 +12,9 @@ val csv_of_runs : Metrics.run list -> string
     [algorithm,completed,total,remaining_gb,utilization,horizon_s,
     plan_ms,events,flows_killed,tasks_rehomed,tasks_lost,
     swaps_attempted,swaps_successful,tasks_rescued,tasks_shed_early,
-    shed_gb]. Header included; floats in fixed notation. *)
+    shed_gb,suspicions,false_suspicions,detections,retries_attempted,
+    retries_exhausted,resumed_gb]. Header included; floats in fixed
+    notation. *)
 
 val csv_of_outcomes : Metrics.run -> string
 (** One row per task:
@@ -33,4 +35,8 @@ val fingerprint : Metrics.run -> string
     them — the determinism check for {!S3_par.Sweep}. Watchdog counters
     (swaps, rescues, sheds and the shed volume) are serialized only
     when at least one is nonzero, so runs where the watchdog is off or
-    never intervenes keep their pre-watchdog digests byte-for-byte. *)
+    never intervenes keep their pre-watchdog digests byte-for-byte; the
+    failure-detector counters (suspicions, false suspicions,
+    detections) and the retry/resume counters (retries, exhaustions,
+    bytes resumed) follow the same rule, preserving every
+    pre-detection digest. *)

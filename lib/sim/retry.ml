@@ -1,0 +1,116 @@
+(* Transfer retry policy and per-flow stall bookkeeping.
+
+   Pure policy surface, same shape as Watchdog: the engine decides
+   which flows are stalled (zero rate through a degraded entity) and
+   performs the actual retries/re-homes; this module owns the CLI
+   grammar and the timeout/backoff arithmetic. Distinct from the
+   watchdog's swap budget: retries are per-flow and react to transient
+   link degradation, swaps are per-task and react to projected deadline
+   misses. *)
+
+type config = {
+  retries : int;
+  timeout : float;
+  backoff : float;
+  resume : bool;
+}
+
+let default = { retries = 2; timeout = 1.; backoff = 2.; resume = true }
+
+let v ?(retries = default.retries) ?(timeout = default.timeout)
+    ?(backoff = default.backoff) ?(resume = default.resume) () =
+  if retries < 0 then invalid_arg "Retry.v: retries must be >= 0";
+  if (not (Float.is_finite timeout)) || timeout <= 0. then
+    invalid_arg "Retry.v: timeout must be finite and > 0";
+  if (not (Float.is_finite backoff)) || backoff < 1. then
+    invalid_arg "Retry.v: backoff must be finite and >= 1";
+  { retries; timeout; backoff; resume }
+
+(* Shortest decimal form that parses back to the same float, so
+   to_string/of_string round-trips exactly (same scheme as Fault). *)
+let float_rt f =
+  let s = Printf.sprintf "%.15g" f in
+  if Float.equal (float_of_string s) f then s else Printf.sprintf "%.17g" f
+
+let to_string c =
+  Printf.sprintf "retries=%d,timeout=%s,backoff=%s,resume=%b" c.retries
+    (float_rt c.timeout) (float_rt c.backoff) c.resume
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Error ("retry " ^ m)) fmt in
+  let items =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun item -> item <> "")
+  in
+  let rec go c = function
+    | [] -> (
+      match
+        v ~retries:c.retries ~timeout:c.timeout ~backoff:c.backoff
+          ~resume:c.resume ()
+      with
+      | c -> Ok c
+      | exception Invalid_argument m -> Error m)
+    | "default" :: rest -> go default rest
+    | item :: rest -> (
+      match String.index_opt item '=' with
+      | None ->
+        err "%S: expected KEY=VALUE with KEY one of retries, timeout, backoff, resume"
+          item
+      | Some eq -> (
+        let key =
+          String.lowercase_ascii (String.trim (String.sub item 0 eq))
+        in
+        let value =
+          String.trim (String.sub item (eq + 1) (String.length item - eq - 1))
+        in
+        match key with
+        | "retries" -> (
+          match int_of_string_opt value with
+          | Some n -> go { c with retries = n } rest
+          | None -> err "retries: %S is not an integer" value)
+        | "timeout" -> (
+          match float_of_string_opt value with
+          | Some f -> go { c with timeout = f } rest
+          | None -> err "timeout: %S is not a number" value)
+        | "backoff" -> (
+          match float_of_string_opt value with
+          | Some f -> go { c with backoff = f } rest
+          | None -> err "backoff: %S is not a number" value)
+        | "resume" -> (
+          match bool_of_string_opt (String.lowercase_ascii value) with
+          | Some b -> go { c with resume = b } rest
+          | None -> err "resume: %S is not a boolean" value)
+        | _ ->
+          err "%S: unknown key %S (expected retries, timeout, backoff or resume)"
+            item key))
+  in
+  go default items
+
+(* ---- per-flow stall state ---- *)
+
+type fstate = {
+  mutable attempts : int;
+  mutable since : float;  (* neg_infinity = not stalled *)
+  mutable given_up : bool;
+}
+
+let fresh () = { attempts = 0; since = neg_infinity; given_up = false }
+let stalled st = Float.is_finite st.since
+
+let mark_stalled st ~now = if not (stalled st) then st.since <- now
+
+let clear st =
+  st.since <- neg_infinity;
+  st.attempts <- 0;
+  st.given_up <- false
+
+let next_deadline c st =
+  if st.given_up || not (stalled st) then infinity
+  else st.since +. (c.timeout *. (c.backoff ** float_of_int st.attempts))
+
+let note_retry st ~now =
+  st.attempts <- st.attempts + 1;
+  st.since <- now
+
+let exhausted c st = st.attempts >= c.retries
+let give_up st = st.given_up <- true

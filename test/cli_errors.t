@@ -31,6 +31,48 @@ An out-of-range watchdog value:
   s3sim: Watchdog.v: backoff must be finite and > 0
   [124]
 
+A negative detector window:
+
+  $ s3sim run --tasks 1 --detect 'suspect=-1'
+  s3sim: Detector.v: suspect must be finite and >= 0
+  [124]
+
+An unknown detector key:
+
+  $ s3sim run --tasks 1 --detect 'bogus=2'
+  s3sim: detect "bogus=2": unknown key "bogus" (expected latency, suspect, confirm, fp, fp-seed or fp-horizon)
+  [124]
+
+False positives without a horizon to draw them from:
+
+  $ s3sim run --tasks 1 --detect 'fp=2'
+  s3sim: Detector.v: fp requires a finite fp-horizon > 0
+  [124]
+
+An out-of-range retry backoff:
+
+  $ s3sim run --tasks 1 --retry 'backoff=0.5'
+  s3sim: Retry.v: backoff must be finite and >= 1
+  [124]
+
+A retry count that is not an integer:
+
+  $ s3sim run --tasks 1 --retry 'retries=x'
+  s3sim: retry retries: "x" is not an integer
+  [124]
+
+A retry resume flag that is not a boolean:
+
+  $ s3sim trace --tasks 1 --retry 'resume=maybe'
+  s3sim: retry resume: "maybe" is not a boolean
+  [124]
+
+A malformed item on the matrix detector axis:
+
+  $ s3sim matrix --detect 'off;suspect=oops'
+  s3sim: detect suspect: "oops" is not a number
+  [124]
+
 An unknown workload profile:
 
   $ s3sim run --tasks 1 --profile 'profile=nope'
@@ -79,5 +121,13 @@ watchdog is on:
   $ s3sim run --tasks 2 --seed 3 -a lpst --watchdog default | grep -c 'rescued'
   1
   $ s3sim run --tasks 2 --seed 3 -a lpst | grep -c 'rescued'
+  0
+  [1]
+
+Likewise the detector and retry columns, only when the feature is on:
+
+  $ s3sim run --tasks 2 --seed 3 -a lpst --detect latency=1 --retry default | grep -c 'detected.*resumed'
+  1
+  $ s3sim run --tasks 2 --seed 3 -a lpst | grep -c 'detected\|resumed'
   0
   [1]

@@ -21,7 +21,7 @@ let raw_available t e = (T.entity t e).T.capacity
 
 let view ?(now = 0.) ?(topo = topo) ?available flows =
   let available = Option.value ~default:(raw_available topo) available in
-  { Problem.now; topo; flows; available; load = None }
+  { Problem.now; topo; flows = lazy flows; available; load = None }
 
 (* Flows of a whole task: one per selected source, ids offset by task id. *)
 let flows_of ?(selected = None) (t : Task.t) =
@@ -51,5 +51,5 @@ let respects_capacities ?(tol = 1e-6) (v : Problem.view) rates =
           (fun e ->
             Hashtbl.replace usage e (Option.value ~default:0. (Hashtbl.find_opt usage e) +. r))
           (Problem.route v f))
-    v.Problem.flows;
+    (Lazy.force v.Problem.flows);
   Hashtbl.fold (fun e used ok -> ok && used <= v.Problem.available e +. tol) usage true

@@ -125,6 +125,38 @@ let test_cursor_semantics () =
   ignore (Fault.advance st2 1.);
   Alcotest.(check int) "re-crash reports nothing" 0 (List.length (Fault.advance st2 2.))
 
+let test_simultaneous_crash_recover_plan_order () =
+  (* Equal-time events resolve in plan order (the sort is stable), so
+     the two spellings of a same-instant crash/recover pair on one
+     server are NOT equivalent — this pins the documented tie break. *)
+  let crash s = { Fault.time = 2.; kind = Fault.Server_crash s } in
+  let recover s = { Fault.time = 2.; kind = Fault.Server_recover s } in
+  (* crash;recover — the server bounces: both changes fire, it ends
+     alive but marked ever_crashed (its chunks are gone). *)
+  let st = Fault.start topo (Fault.plan [ crash 1; recover 1 ]) in
+  (match Fault.advance st 2. with
+   | [ Fault.Crashed 1; Fault.Recovered 1 ] -> ()
+   | _ -> Alcotest.fail "crash;recover@T should fire [Crashed; Recovered]");
+  Alcotest.(check bool) "bounced server is alive" false (Fault.dead st 1);
+  Alcotest.(check bool) "but remembered as crashed" true (Fault.ever_crashed st 1);
+  (* recover;crash on a live server — the recover is a no-op, only the
+     crash fires, the server ends dead. *)
+  let st = Fault.start topo (Fault.plan [ recover 1; crash 1 ]) in
+  (match Fault.advance st 2. with
+   | [ Fault.Crashed 1 ] -> ()
+   | _ -> Alcotest.fail "recover;crash@T on a live server should fire only [Crashed]");
+  Alcotest.(check bool) "server ends dead" true (Fault.dead st 1);
+  (* The same pair arriving through the string spec keeps its item
+     order: the spec is the plan order for equal times. *)
+  (match Fault.of_string "crash@2:1,recover@2:1" with
+   | Error e -> Alcotest.fail e
+   | Ok p ->
+     Alcotest.(check string) "spec order survives the stable sort"
+       "crash@2:1,recover@2:1" (Fault.to_string p);
+     let st = Fault.start topo p in
+     ignore (Fault.advance st 2.);
+     Alcotest.(check bool) "spec bounce leaves the server alive" false (Fault.dead st 1))
+
 let test_degradations_compound () =
   let plan =
     Fault.plan
@@ -520,7 +552,7 @@ let test_invalid_reselection () =
   let bad =
     { lpst with
       Algorithm.name = "bad-reselect";
-      reselect = Some (fun _ _ ~eligible:_ ~need -> Array.make need 1)
+      reselect = Some (fun _ _ ~eligible:_ ~need ~remaining:_ -> Array.make need 1)
     }
   in
   expect_invalid ~task:0 ~server:1 (fun () ->
@@ -641,7 +673,7 @@ let chaos_violation ?watchdog name seed =
           note "live flow reads a crashed server";
         if Fault.dead replay f.Problem.task.Task.destination then
           note "live flow writes a dead server")
-      view.Problem.flows
+      (Lazy.force view.Problem.flows)
   in
   let run = Engine.run ~on_event:hook ~faults ?watchdog topo (Registry.make name) tasks in
   if run.Metrics.clamp_events <> 0 then note "capacity clamped";
@@ -801,6 +833,7 @@ let tests =
       tc "spec rejects malformed" `Quick test_spec_rejects_malformed;
       tc "plan validation" `Quick test_plan_validation;
       tc "cursor semantics" `Quick test_cursor_semantics;
+      tc "simultaneous crash/recover" `Quick test_simultaneous_crash_recover_plan_order;
       tc "degradations compound" `Quick test_degradations_compound;
       tc "random plan deterministic" `Quick test_random_plan_deterministic;
       tc "golden: re-home" `Quick test_golden_rehome;

@@ -185,7 +185,7 @@ let test_congestion_accessor () =
   let eager =
     { Problem.now = 1.;
       topo;
-      flows;
+      flows = lazy flows;
       available = (fun e -> (T.entity topo e).T.capacity);
       load = None
     }

@@ -22,6 +22,7 @@ let () =
       Test_algorithms.tests;
       Test_sim.tests;
       Test_fault.tests;
+      Test_detector.tests;
       Test_incremental.tests;
       Test_integration.tests;
       Test_properties.tests;

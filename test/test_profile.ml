@@ -41,10 +41,12 @@ let test_parse_variants () =
   in
   let s = ok "db-oltp" in
   Alcotest.(check string) "bare name" "db-oltp" s.Profile.profile.Profile.name;
+  (* lint: allow float-eq — exact parse round-trip of a spec literal *)
   Alcotest.(check bool) "default scale" true (Float.equal s.Profile.scale 1.);
   Alcotest.(check bool) "no tasks" true (s.Profile.tasks = None);
   let s = ok " scale=2.5 , profile=mixed-70-30 , tasks=80 " in
   Alcotest.(check string) "keys in any order" "mixed-70-30" s.Profile.profile.Profile.name;
+  (* lint: allow float-eq — exact parse round-trip of a spec literal *)
   Alcotest.(check bool) "scale read" true (Float.equal s.Profile.scale 2.5);
   Alcotest.(check bool) "tasks read" true (s.Profile.tasks = Some 80);
   Alcotest.(check int) "task_count uses spec" 80 (Profile.task_count ~default:7 s);
@@ -114,6 +116,7 @@ let qcheck =
         let tasks = Profile.generate (Prng.create seed) (topo ()) s in
         List.for_all
           (fun (t : Task.t) ->
+            (* lint: allow float-eq — generator computes this exact expression *)
             Float.equal t.Task.volume (8. *. p.Profile.chunk_size_mb))
           tasks);
     Test.make ~name:"arrival-rate scaling law: arrivals contract by 1/scale" ~count:60
@@ -139,6 +142,7 @@ let qcheck =
           base fast);
     Test.make ~name:"compiled arrival rate is profile rate x scale" ~count:200 spec_arb
       (fun s ->
+        (* lint: allow float-eq — arrival_rate is this exact product *)
         Float.equal (Profile.arrival_rate s)
           (s.Profile.profile.Profile.arrival_rate *. s.Profile.scale));
     Test.make ~name:"code override re-codes every coded entry" ~count:100

@@ -119,7 +119,7 @@ let qcheck =
               | Some r when r > 1e-9 ->
                 Hashtbl.replace moved f.S3_core.Problem.task.Task.id ()
               | _ -> ())
-            view.S3_core.Problem.flows
+            (Lazy.force view.S3_core.Problem.flows)
         in
         let run = Engine.run ~on_event:hook topo (Registry.make "lpst") tasks in
         List.for_all

@@ -87,7 +87,7 @@ let test_csv_of_runs () =
     (String.length (List.hd lines) > 0 && String.sub (List.hd lines) 0 9 = "algorithm");
   List.iter
     (fun line ->
-      Alcotest.(check int) "16 fields" 16 (List.length (String.split_on_char ',' line)))
+      Alcotest.(check int) "22 fields" 22 (List.length (String.split_on_char ',' line)))
     lines
 
 let test_csv_of_outcomes () =
